@@ -1,0 +1,94 @@
+// Package blueprint is a complete Go implementation of the compound-AI
+// blueprint architecture of "Orchestrating Agents and Data for Enterprise"
+// (Kandogan et al., ICDE 2025): streams orchestrating data and control
+// among agents, agent and data registries mapping enterprise models and
+// sources, task and data planners, a budget-aware task coordinator, and a
+// multi-objective optimizer — together with an embedded enterprise substrate
+// (relational engine, document store, graph store, KV store, simulated LLM)
+// and the paper's HR case study (Agentic Employer, Career Assistant).
+//
+// The System type wires everything; Session provides the conversational
+// surface:
+//
+//	sys, _ := blueprint.New(blueprint.Config{})
+//	defer sys.Close()
+//	s, _ := sys.StartSession("")
+//	answer, _ := s.Ask("How many jobs are in San Francisco?", 5*time.Second)
+package blueprint
+
+import (
+	"time"
+
+	"blueprint/internal/budget"
+	"blueprint/internal/llm"
+	"blueprint/internal/optimizer"
+	"blueprint/internal/workload"
+)
+
+// Version is the library version.
+const Version = "1.0.0"
+
+// Config configures a System. The zero value is a working development
+// configuration: a small deterministic enterprise, the large (most
+// accurate) simulated model tier, no persistence, and a $1 per-request
+// budget.
+type Config struct {
+	// Seed drives all synthetic data and the simulated model (default 42).
+	Seed int64
+	// Scale sizes the generated enterprise (default workload.SmallScale).
+	Scale workload.Scale
+	// ModelTier selects the simulated LLM tier: "small", "medium", "large"
+	// (default "large").
+	ModelTier llm.Tier
+	// ModelAccuracy overrides the tier's accuracy when in (0, 1].
+	ModelAccuracy float64
+	// WALPath enables stream persistence to the given file.
+	WALPath string
+	// Budget is the per-request QoS limit enforced by the coordinator
+	// (default: MaxCost $1).
+	Budget budget.Limits
+	// Objectives weight the optimizer (default: balanced).
+	Objectives optimizer.Objectives
+	// DisableStandardAgents skips spawning the case-study agents in new
+	// sessions (for applications registering only their own agents).
+	DisableStandardAgents bool
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Scale == (workload.Scale{}) {
+		c.Scale = workload.SmallScale()
+	}
+	if c.ModelTier == "" {
+		c.ModelTier = llm.TierLarge
+	}
+	if c.Budget == (budget.Limits{}) {
+		c.Budget = budget.Limits{MaxCost: 1.0}
+	}
+	if c.Objectives == (optimizer.Objectives{}) {
+		c.Objectives = optimizer.DefaultObjectives()
+	}
+	return c
+}
+
+// modelConfig resolves the tier preset and accuracy override.
+func (c Config) modelConfig() llm.Config {
+	presets := llm.Presets(c.Seed)
+	var cfg llm.Config
+	for _, p := range presets {
+		if p.Tier == c.ModelTier {
+			cfg = p
+		}
+	}
+	if cfg.Name == "" {
+		cfg = presets[len(presets)-1]
+	}
+	if c.ModelAccuracy > 0 && c.ModelAccuracy <= 1 {
+		cfg.Accuracy = c.ModelAccuracy
+	}
+	cfg.BaseLatency = time.Millisecond // keep in-process sessions snappy
+	return cfg
+}

@@ -1,0 +1,244 @@
+package blueprint
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"blueprint/internal/budget"
+	"blueprint/internal/hragents"
+	"blueprint/internal/llm"
+	"blueprint/internal/streams"
+	"blueprint/internal/trace"
+)
+
+func newSystem(t testing.TB) *System {
+	t.Helper()
+	// Tests need deterministic routing, so pin a perfect model; accuracy
+	// degradation is exercised explicitly in the benchmarks.
+	sys, err := New(Config{ModelAccuracy: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	return sys
+}
+
+func TestNewDefaults(t *testing.T) {
+	sys := newSystem(t)
+	if sys.AgentRegistry.Len() != 13 { // 12 case-study agents + task planner
+		t.Fatalf("agents = %d", sys.AgentRegistry.Len())
+	}
+	if sys.DataRegistry.Len() < 5 {
+		t.Fatalf("data assets = %d", sys.DataRegistry.Len())
+	}
+	if sys.Model.Config().Tier != llm.TierLarge {
+		t.Fatalf("tier = %s", sys.Model.Config().Tier)
+	}
+}
+
+func TestFig1ArchitectureWiring(t *testing.T) {
+	// The full Fig. 1 loop: user stream -> intent -> NL2Q -> SQL -> summary
+	// -> display, through registries and streams only.
+	sys := newSystem(t)
+	s, err := sys.StartSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	out, err := s.Ask("How many jobs are in San Francisco?", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Summary:") {
+		t.Fatalf("answer = %q", out)
+	}
+	// Observability: every hop is on the streams.
+	flow := s.Flow()
+	senders := trace.Senders(flow)
+	joined := strings.Join(senders, ",")
+	for _, want := range []string{"user", hragents.IntentClassifier, hragents.AgenticEmployer, hragents.NL2Q, hragents.SQLExecutor, hragents.QuerySummarizer} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("flow missing %s: %v", want, senders)
+		}
+	}
+}
+
+func TestClickFlow(t *testing.T) {
+	sys := newSystem(t)
+	s, err := sys.StartSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	out, err := s.Click(map[string]any{"action": "select_job", "job_id": 5}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Job 5") {
+		t.Fatalf("click result = %q", out)
+	}
+	// The display output can arrive before the coordinator service records
+	// its result; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.PlanResults()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator executed no plan")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestExecuteUtteranceRunningExample(t *testing.T) {
+	sys := newSystem(t)
+	s, err := sys.StartSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, plan, err := s.ExecuteUtterance("I am looking for a data scientist position in SF bay area.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Intent != "job_search" || len(plan.Steps) != 3 {
+		t.Fatalf("plan = %s", plan)
+	}
+	rendered, _ := res.Final["RENDERED"].(string)
+	if rendered == "" {
+		t.Fatalf("final = %+v", res.Final)
+	}
+	// Every presented job is in the Fig. 7 ground truth by construction.
+	if !strings.Contains(rendered, "match") {
+		t.Fatalf("rendered = %q", rendered)
+	}
+	if res.Budget.CostSpent <= 0 || res.Budget.Charges < 3 {
+		t.Fatalf("budget = %+v", res.Budget)
+	}
+}
+
+func TestBudgetEnforcedThroughFacade(t *testing.T) {
+	sys, err := New(Config{Budget: budget.Limits{MaxCost: 0.000001}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	s, err := sys.StartSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, _, err = s.ExecuteUtterance("I am looking for a data scientist position in SF bay area.")
+	if err == nil {
+		t.Fatal("micro-budget execution succeeded")
+	}
+}
+
+func TestSessionIsolation(t *testing.T) {
+	sys := newSystem(t)
+	s1, err := sys.StartSession("session:a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s2, err := sys.StartSession("session:b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	if _, err := s1.Ask("How many jobs are in Seattle?", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Session b saw none of session a's conversational traffic (its own
+	// flow holds only agent ENTER/ADD setup signals).
+	for _, step := range s2.Flow() {
+		if step.Sender == "user" || step.Kind == streams.Data {
+			t.Fatalf("session a traffic leaked into b: %+v", step)
+		}
+	}
+}
+
+func TestDuplicateSessionID(t *testing.T) {
+	sys := newSystem(t)
+	s, err := sys.StartSession("session:dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := sys.StartSession("session:dup"); err == nil {
+		t.Fatal("duplicate session created")
+	}
+}
+
+func TestWALPersistenceThroughFacade(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/blueprint.wal"
+	sys, err := New(Config{WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sys.StartSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ask("How many jobs are in Oakland?", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sid := s.ID
+	s.Close()
+	sys.Close()
+
+	// Recover and replay the conversation.
+	store, err := streams.Open(streams.Options{WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	history := store.History(sid)
+	if len(history) < 5 {
+		t.Fatalf("recovered history = %d messages", len(history))
+	}
+	found := false
+	for _, m := range history {
+		if strings.Contains(m.PayloadString(), "How many jobs are in Oakland?") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("utterance not recovered from WAL")
+	}
+}
+
+func TestAskTimeout(t *testing.T) {
+	sys, err := New(Config{DisableStandardAgents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	s, err := sys.StartSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// No agents listening: Ask must time out cleanly.
+	_, err = s.Ask("hello?", 50*time.Millisecond)
+	if !errors.Is(err, ErrNoResponse) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Seed != 42 || c.ModelTier != llm.TierLarge || c.Budget.MaxCost != 1.0 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	mc := Config{ModelTier: "bogus"}.withDefaults().modelConfig()
+	if mc.Tier != llm.TierLarge {
+		t.Fatalf("bogus tier resolved to %s", mc.Tier)
+	}
+	mc = Config{ModelAccuracy: 0.5}.withDefaults().modelConfig()
+	if mc.Accuracy != 0.5 {
+		t.Fatalf("accuracy override = %v", mc.Accuracy)
+	}
+}

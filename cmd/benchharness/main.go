@@ -1,0 +1,59 @@
+// benchharness regenerates every figure of the paper as a measured table.
+//
+// Usage:
+//
+//	benchharness              # run all experiments
+//	benchharness -fig F7      # run one (F1..F10, A1..A3)
+//	benchharness -seed 7      # change the deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"blueprint/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment id to run (F1..F10, A1..A3, or 'all')")
+	seed := flag.Int64("seed", 42, "deterministic seed for workloads and the simulated LLM")
+	flag.Parse()
+
+	runners := map[string]func(int64) (*experiments.Table, error){
+		"F1":  experiments.Fig1EndToEnd,
+		"F2":  experiments.Fig2Deployment,
+		"F3":  experiments.Fig3AgentModel,
+		"F4":  experiments.Fig4PetriTriggering,
+		"F5":  experiments.Fig5DataRegistry,
+		"F6":  experiments.Fig6TaskPlan,
+		"F7":  experiments.Fig7DataPlan,
+		"F8":  experiments.Fig8Conversation,
+		"F9":  experiments.Fig9UIFlow,
+		"F10": experiments.Fig10ConversationFlow,
+		"A1":  experiments.AblationBudget,
+		"A2":  experiments.AblationOptimizer,
+		"A3":  experiments.AblationStreams,
+	}
+
+	if strings.EqualFold(*fig, "all") {
+		tables, err := experiments.All(*seed)
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	run, ok := runners[strings.ToUpper(*fig)]
+	if !ok {
+		log.Fatalf("unknown experiment %q (want F1..F10, A1..A3, all)", *fig)
+	}
+	t, err := run(*seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t)
+}

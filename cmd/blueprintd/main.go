@@ -1,0 +1,168 @@
+// blueprintd serves a blueprint System over HTTP — the "deployed in a
+// distributed system" face of the architecture, exposing sessions, the
+// conversational surface, both registries and stream observability.
+//
+// Endpoints:
+//
+//	POST /sessions                         -> {"id": "session:1"}
+//	POST /sessions/{id}/ask    {"text":..} -> {"answer": ...}
+//	POST /sessions/{id}/click  {event}     -> {"answer": ...}
+//	GET  /sessions/{id}/flow               -> per-message flow trace
+//	GET  /agents                           -> agent registry contents
+//	GET  /data                             -> data registry contents
+//	GET  /stats                            -> stream store counters
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"blueprint"
+)
+
+type server struct {
+	sys *blueprint.System
+	mu  sessionMap
+}
+
+// sessionMap guards the live session handles.
+type sessionMap struct {
+	sessions map[string]*blueprint.Session
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	walPath := flag.String("wal", "", "optional stream WAL path for persistence")
+	flag.Parse()
+
+	sys, err := blueprint.New(blueprint.Config{Seed: *seed, ModelAccuracy: 1.0, WALPath: *walPath})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	s := &server{sys: sys, mu: sessionMap{sessions: map[string]*blueprint.Session{}}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", s.createSession)
+	mux.HandleFunc("POST /sessions/{id}/ask", s.ask)
+	mux.HandleFunc("POST /sessions/{id}/click", s.click)
+	mux.HandleFunc("GET /sessions/{id}/flow", s.flow)
+	mux.HandleFunc("GET /agents", s.agents)
+	mux.HandleFunc("GET /data", s.data)
+	mux.HandleFunc("GET /stats", s.stats)
+
+	log.Printf("blueprintd %s listening on %s (agents=%d, data assets=%d)",
+		blueprint.Version, *addr, sys.AgentRegistry.Len(), sys.DataRegistry.Len())
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.sys.StartSession("")
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	s.mu.sessions[sess.ID] = sess
+	writeJSON(w, http.StatusCreated, map[string]string{"id": sess.ID})
+}
+
+func (s *server) session(w http.ResponseWriter, r *http.Request) *blueprint.Session {
+	id := r.PathValue("id")
+	if !strings.HasPrefix(id, "session:") {
+		id = "session:" + id
+	}
+	sess, ok := s.mu.sessions[id]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown session " + id})
+		return nil
+	}
+	return sess
+}
+
+func (s *server) ask(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var body struct {
+		Text    string `json:"text"`
+		Timeout int    `json:"timeout_ms"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Text == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "body must be {\"text\": ...}"})
+		return
+	}
+	timeout := 15 * time.Second
+	if body.Timeout > 0 {
+		timeout = time.Duration(body.Timeout) * time.Millisecond
+	}
+	answer, err := sess.Ask(body.Text, timeout)
+	if err != nil {
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"answer": answer})
+}
+
+func (s *server) click(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var event map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&event); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "body must be a UI event object"})
+		return
+	}
+	answer, err := sess.Click(event, 15*time.Second)
+	if err != nil {
+		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"answer": answer})
+}
+
+func (s *server) flow(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	steps := sess.Flow()
+	out := make([]map[string]any, len(steps))
+	for i, st := range steps {
+		out[i] = map[string]any{
+			"ts": st.TS, "sender": st.Sender, "stream": st.Stream,
+			"kind": st.Kind.String(), "op": st.Op, "tags": st.Tags, "payload": st.Payload,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) agents(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.AgentRegistry.List())
+}
+
+func (s *server) data(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.DataRegistry.List("", ""))
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	st := s.sys.Store.StatsSnapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"streams": st.StreamsCreated, "messages": st.MessagesAppended,
+		"data": st.DataMessages, "control": st.ControlMessages, "events": st.EventMessages,
+		"subscriptions": st.Subscriptions, "deliveries": st.Deliveries,
+		"version": blueprint.Version, "sessions": len(s.mu.sessions),
+	})
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"blueprint"
+)
+
+func newTestServer(t *testing.T) (*server, *http.ServeMux) {
+	t.Helper()
+	sys, err := blueprint.New(blueprint.Config{ModelAccuracy: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	s := &server{sys: sys, mu: sessionMap{sessions: map[string]*blueprint.Session{}}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", s.createSession)
+	mux.HandleFunc("POST /sessions/{id}/ask", s.ask)
+	mux.HandleFunc("POST /sessions/{id}/click", s.click)
+	mux.HandleFunc("GET /sessions/{id}/flow", s.flow)
+	mux.HandleFunc("GET /agents", s.agents)
+	mux.HandleFunc("GET /data", s.data)
+	mux.HandleFunc("GET /stats", s.stats)
+	return s, mux
+}
+
+func do(t *testing.T, mux *http.ServeMux, method, path, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	var out map[string]any
+	_ = json.Unmarshal(rec.Body.Bytes(), &out)
+	return rec, out
+}
+
+func TestSessionLifecycleOverHTTP(t *testing.T) {
+	_, mux := newTestServer(t)
+	rec, out := do(t, mux, "POST", "/sessions", "")
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create = %d %s", rec.Code, rec.Body)
+	}
+	id, _ := out["id"].(string)
+	if !strings.HasPrefix(id, "session:") {
+		t.Fatalf("id = %q", id)
+	}
+
+	rec, out = do(t, mux, "POST", "/sessions/"+strings.TrimPrefix(id, "session:")+"/ask",
+		`{"text": "How many jobs are in San Francisco?"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ask = %d %s", rec.Code, rec.Body)
+	}
+	if ans, _ := out["answer"].(string); !strings.Contains(ans, "Summary:") {
+		t.Fatalf("answer = %v", out)
+	}
+
+	rec, out = do(t, mux, "POST", "/sessions/"+strings.TrimPrefix(id, "session:")+"/click",
+		`{"action": "select_job", "job_id": 3}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("click = %d %s", rec.Code, rec.Body)
+	}
+	if ans, _ := out["answer"].(string); !strings.Contains(ans, "Job 3") {
+		t.Fatalf("click answer = %v", out)
+	}
+
+	req := httptest.NewRequest("GET", "/sessions/"+strings.TrimPrefix(id, "session:")+"/flow", nil)
+	rec2 := httptest.NewRecorder()
+	mux.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("flow = %d", rec2.Code)
+	}
+	var flow []map[string]any
+	if err := json.Unmarshal(rec2.Body.Bytes(), &flow); err != nil || len(flow) == 0 {
+		t.Fatalf("flow body = %v err=%v", len(flow), err)
+	}
+}
+
+func TestErrorsOverHTTP(t *testing.T) {
+	_, mux := newTestServer(t)
+	rec, _ := do(t, mux, "POST", "/sessions/999/ask", `{"text": "hi"}`)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown session = %d", rec.Code)
+	}
+	// Bad bodies.
+	_, out := do(t, mux, "POST", "/sessions", "")
+	id := strings.TrimPrefix(out["id"].(string), "session:")
+	rec, _ = do(t, mux, "POST", "/sessions/"+id+"/ask", `{}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty text = %d", rec.Code)
+	}
+	rec, _ = do(t, mux, "POST", "/sessions/"+id+"/click", `not json`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad click body = %d", rec.Code)
+	}
+}
+
+func TestIntrospectionOverHTTP(t *testing.T) {
+	_, mux := newTestServer(t)
+	for _, path := range []string{"/agents", "/data", "/stats"} {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s = %d", path, rec.Code)
+		}
+		if rec.Body.Len() < 10 {
+			t.Fatalf("%s body = %q", path, rec.Body)
+		}
+	}
+	rec, _ := do(t, mux, "GET", "/stats", "")
+	var stats map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["version"] != blueprint.Version {
+		t.Fatalf("stats = %v", stats)
+	}
+}

@@ -1,0 +1,120 @@
+// bpctl is the developer console for a blueprint System: it boots an
+// in-process instance and inspects registries, compiles queries, plans
+// utterances and replays conversations — the "web interface for developers"
+// of §V-C, as a CLI.
+//
+// Usage:
+//
+//	bpctl agents                      # list the agent registry
+//	bpctl data                        # list the data registry
+//	bpctl search-agents <text>        # vector search over agents
+//	bpctl discover <text>             # vector search over data assets
+//	bpctl nl2q <question>             # compile NL -> SQL and run it
+//	bpctl plan <utterance>            # show the task plan DAG
+//	bpctl ask <utterance>             # full pipeline, print answer + flow
+//	bpctl sql <statement>             # raw SQL against the enterprise DB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"blueprint"
+	"blueprint/internal/dataplan"
+	"blueprint/internal/nlq"
+	"blueprint/internal/trace"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("usage: bpctl <agents|data|search-agents|discover|nl2q|plan|ask|sql> [args]")
+	}
+
+	sys, err := blueprint.New(blueprint.Config{Seed: *seed, ModelAccuracy: 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	cmd, rest := args[0], strings.Join(args[1:], " ")
+	switch cmd {
+	case "agents":
+		for _, spec := range sys.AgentRegistry.List() {
+			fmt.Printf("%-20s v%d  %s\n", spec.Name, spec.Version, spec.Description)
+			for _, in := range spec.Inputs {
+				fmt.Printf("    in:  %s (%s)\n", in.Name, in.Type)
+			}
+			for _, out := range spec.Outputs {
+				fmt.Printf("    out: %s (%s)\n", out.Name, out.Type)
+			}
+		}
+	case "data":
+		for _, a := range sys.DataRegistry.List("", "") {
+			fmt.Printf("%-20s %-10s %-10s rows=%-6d %s\n", a.Name, a.Kind, a.Level, a.Rows, a.Description)
+			if len(a.Indexes) > 0 {
+				fmt.Printf("    indexes: %s\n", strings.Join(a.Indexes, ", "))
+			}
+		}
+	case "search-agents":
+		for _, h := range sys.AgentRegistry.SearchVector(rest, 5) {
+			fmt.Printf("%.3f  %-20s %s\n", h.Score, h.Spec.Name, h.Spec.Description)
+		}
+	case "discover":
+		for _, h := range sys.DataRegistry.Discover(rest, 5) {
+			fmt.Printf("%.3f  %-20s %s\n", h.Score, h.Asset.Name, h.Asset.Description)
+		}
+	case "nl2q":
+		tgt, err := dataplan.BuildTarget(sys.Enterprise.DB, "jobs")
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := nlq.Compile(rest, tgt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sql:        %s\nconfidence: %.2f\n", c.SQL, c.Confidence)
+		for _, e := range c.Explanation {
+			fmt.Printf("  %s\n", e)
+		}
+		res, err := sys.Enterprise.DB.Query(c.SQL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res)
+	case "plan":
+		p, err := sys.TaskPlanner.Plan(rest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(p)
+		for _, e := range p.Explanation {
+			fmt.Printf("  %s\n", e)
+		}
+	case "ask":
+		s, err := sys.StartSession("")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer s.Close()
+		answer, err := s.Ask(rest, 15*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("answer: %s\n\nflow:\n%s", answer, trace.Render(s.Flow()))
+	case "sql":
+		res, err := sys.Enterprise.DB.Query(rest)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res)
+		fmt.Printf("plan: %s\n", res.Plan)
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}

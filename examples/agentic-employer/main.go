@@ -1,0 +1,65 @@
+// Agentic Employer (Scenario II, §II-B and §VI): reproduces the Fig. 8
+// conversation — an employer sifting through applicants with UI clicks and
+// natural-language queries — and prints the Fig. 9 / Fig. 10 message flows
+// reconstructed from the streams, demonstrating the architecture's
+// observability.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"blueprint"
+	"blueprint/internal/trace"
+)
+
+func main() {
+	sys, err := blueprint.New(blueprint.Config{ModelAccuracy: 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	sess, err := sys.StartSession("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	const timeout = 10 * time.Second
+
+	// --- Fig. 9: flow initiated from the UI -----------------------------
+	fmt.Println("== Fig. 9: employer clicks job 12 in the UI ==")
+	out, err := sess.Click(map[string]any{"action": "select_job", "job_id": 12}, timeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system> %s\n\n", out)
+
+	// --- Fig. 10: flow initiated from the conversation ------------------
+	turns := []string{
+		"How many jobs are in San Francisco?",
+		"average salary per city",
+		"Rank the top candidates for job 12",
+		"Summarize the applicants for job 7",
+	}
+	for _, turn := range turns {
+		fmt.Printf("employer> %s\n", turn)
+		out, err := sess.Ask(turn, timeout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("system> %s\n\n", out)
+	}
+
+	// --- Observability: the reconstructed flow --------------------------
+	flow := sess.Flow()
+	fmt.Println("== reconstructed flow (first appearance order) ==")
+	fmt.Println(trace.Senders(flow))
+	fmt.Println("== message counts per component ==")
+	for sender, n := range trace.CountBySender(flow) {
+		fmt.Printf("  %-20s %d\n", sender, n)
+	}
+	fmt.Printf("total messages on streams: %d\n", len(flow))
+}

@@ -1,0 +1,54 @@
+// Career Assistant (Scenario I, §II-A): the paper's running example
+// "I am looking for a data scientist position in SF bay area." executed
+// through the declarative task-planning path — the task planner produces
+// the Fig. 6 DAG (Profiler -> JobMatcher -> Presenter), the optimizer
+// projects its cost, and the coordinator executes it under a QoS budget,
+// with the data planner expanding the region via the LLM source and the
+// title via the taxonomy graph (Fig. 7).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"blueprint"
+)
+
+func main() {
+	sys, err := blueprint.New(blueprint.Config{ModelAccuracy: 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	sess, err := sys.StartSession("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	utterance := "I am looking for a data scientist position in SF bay area."
+	fmt.Printf("user> %s\n\n", utterance)
+
+	res, plan, err := sess.ExecuteUtterance(utterance)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("task plan (Fig. 6):")
+	fmt.Println(plan)
+
+	fmt.Println("matched jobs:")
+	fmt.Println(res.Final["RENDERED"])
+
+	fmt.Printf("budget: $%.5f spent across %d charges (limit $%.2f)\n",
+		res.Budget.CostSpent, res.Budget.Charges, res.Budget.CostLimit)
+
+	// Career advice (a second Scenario-I inquiry) through the streams path.
+	advice, err := sess.Ask("I want advice: what skills do I need to become a data scientist?", 10*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nuser> what skills do I need?\nsystem> %s\n", advice)
+}

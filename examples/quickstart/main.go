@@ -1,0 +1,45 @@
+// Quickstart: boot a blueprint System, open a session, and run one
+// conversational request end to end through the full architecture —
+// intent classification, NL2Q, SQL execution and summarization, all
+// orchestrated over streams.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"blueprint"
+)
+
+func main() {
+	sys, err := blueprint.New(blueprint.Config{ModelAccuracy: 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	sess, err := sys.StartSession("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	questions := []string{
+		"How many jobs are in San Francisco?",
+		"average salary per city",
+		"Summarize the applicants for job 12",
+	}
+	for _, q := range questions {
+		fmt.Printf("user> %s\n", q)
+		answer, err := sess.Ask(q, 10*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("system> %s\n\n", answer)
+	}
+
+	// The entire orchestration is observable on the streams.
+	fmt.Printf("session flow: %d messages across %d components\n",
+		len(sess.Flow()), len(sys.AgentRegistry.List()))
+}

@@ -1,0 +1,137 @@
+// Package agent implements the blueprint's agent runtime (§V-B, Figs. 3-4):
+// agents as compute entities with declared input/output parameters and a
+// processor() function, activated either centrally (EXECUTE_AGENT control
+// messages from the task coordinator) or in a decentralized way (monitoring
+// stream tags under inclusion/exclusion rules). Multi-parameter agents are
+// triggered through a PetriNet-inspired mechanism: every input parameter is
+// a place fed by stream messages; when all places hold a token, a transition
+// fires and the processor receives the full input tuple. Each agent instance
+// owns a worker pool so a triggered agent keeps listening while workers
+// execute (§V-B).
+package agent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"blueprint/internal/registry"
+	"blueprint/internal/streams"
+)
+
+// Control operations specific to the agent runtime.
+const (
+	// OpAgentDone reports a completed invocation with its QoS actuals.
+	OpAgentDone = "AGENT_DONE"
+	// OpAgentError reports a failed invocation.
+	OpAgentError = "AGENT_ERROR"
+)
+
+// Invocation is the prepared input tuple for one processor call.
+type Invocation struct {
+	// Session is the session scope of the triggering work.
+	Session string
+	// Inputs binds each input parameter name to its value.
+	Inputs map[string]any
+	// Trigger is the message that fired the transition (the control message
+	// for centralized activation, the last token for decentralized).
+	Trigger streams.Message
+	// ReplyStream, when set, is where outputs must be published (set by the
+	// coordinator); otherwise the agent's default output streams are used.
+	ReplyStream string
+	// InvocationID correlates DONE/ERROR reports with requests.
+	InvocationID string
+}
+
+// Usage reports the QoS actuals of one invocation, folded into the session
+// budget by the coordinator.
+type Usage struct {
+	// Cost in dollars.
+	Cost float64 `json:"cost"`
+	// Latency of the invocation (simulated or measured).
+	Latency time.Duration `json:"latency"`
+	// Accuracy estimate in [0,1] (0 = unknown).
+	Accuracy float64 `json:"accuracy,omitempty"`
+}
+
+// Outputs is the result of one processor call.
+type Outputs struct {
+	// Values binds output parameter names to values.
+	Values map[string]any
+	// Tags are appended to every output message (in addition to the
+	// parameter name tag).
+	Tags []string
+	// Usage carries QoS actuals; if zero, the spec's QoS profile is used.
+	Usage Usage
+	// Display, when set, is a user-facing rendering published to the
+	// session's display stream.
+	Display string
+}
+
+// Processor is the agent's logic (§V-B "agents utilize a processor()
+// function to handle incoming data and instructions").
+type Processor func(ctx context.Context, inv Invocation) (Outputs, error)
+
+// Agent binds a registry spec to its processor.
+type Agent struct {
+	Spec    registry.AgentSpec
+	Process Processor
+}
+
+// New creates an agent from a spec and processor.
+func New(spec registry.AgentSpec, p Processor) *Agent {
+	return &Agent{Spec: spec, Process: p}
+}
+
+// Validate checks that the agent is well-formed.
+func (a *Agent) Validate() error {
+	if a.Spec.Name == "" {
+		return errors.New("agent: spec name required")
+	}
+	if a.Process == nil {
+		return fmt.Errorf("agent %s: processor required", a.Spec.Name)
+	}
+	seen := map[string]bool{}
+	for _, p := range a.Spec.Inputs {
+		if p.Name == "" {
+			return fmt.Errorf("agent %s: unnamed input", a.Spec.Name)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("agent %s: duplicate input %s", a.Spec.Name, p.Name)
+		}
+		seen[p.Name] = true
+	}
+	return nil
+}
+
+// TriggerPolicy selects how tokens from multiple places are paired into
+// input tuples (Fig. 4: "agent properties can define various configurations
+// for triggering, such as pairing tokens from multiple streams").
+type TriggerPolicy string
+
+const (
+	// PairZip consumes one token per place in FIFO order: the i-th token of
+	// every place forms the i-th tuple.
+	PairZip TriggerPolicy = "zip"
+	// PairLatest keeps only the newest token per place and fires on every
+	// arrival once all places are occupied; tokens are not consumed, so a
+	// slow stream's last value is reused (sticky joins).
+	PairLatest TriggerPolicy = "latest"
+)
+
+// PolicyFromSpec reads the trigger policy from spec properties
+// ("trigger_policy"), defaulting to PairZip.
+func PolicyFromSpec(spec registry.AgentSpec) TriggerPolicy {
+	if spec.Properties != nil {
+		if v, ok := spec.Properties["trigger_policy"].(string); ok {
+			switch TriggerPolicy(v) {
+			case PairLatest:
+				return PairLatest
+			case PairZip:
+				return PairZip
+			}
+		}
+	}
+	return PairZip
+}

@@ -1,0 +1,55 @@
+package agent
+
+import (
+	"blueprint/internal/streams"
+)
+
+// Execute publishes an EXECUTE_AGENT directive on the session's control
+// stream — the centralized activation path used by the task coordinator
+// (§V-H). Outputs will appear on replyStream (or the agent's default output
+// stream when empty), and a DONE/ERROR control report follows, carrying
+// invocationID.
+func Execute(store *streams.Store, session, agentName string, inputs map[string]any, replyStream, invocationID string) error {
+	if _, err := store.EnsureStream(ControlStream(session), streams.StreamInfo{Session: session}); err != nil {
+		return err
+	}
+	args := map[string]any{"inputs": inputs}
+	if replyStream != "" {
+		args["reply_stream"] = replyStream
+	}
+	if invocationID != "" {
+		args["invocation_id"] = invocationID
+	}
+	_, err := store.Append(streams.Message{
+		Stream: ControlStream(session),
+		Kind:   streams.Control,
+		Sender: "coordinator",
+		Directive: &streams.Directive{
+			Op:    streams.OpExecuteAgent,
+			Agent: agentName,
+			Args:  args,
+		},
+	})
+	return err
+}
+
+// AwaitDone blocks until a DONE or ERROR report for invocationID arrives on
+// the session control stream, scanning history first so reports that raced
+// ahead of the subscription are not missed. It returns the report directive.
+func AwaitDone(store *streams.Store, session, invocationID string) *streams.Directive {
+	sub := store.Subscribe(streams.Filter{
+		Streams: []string{ControlStream(session)},
+		Kinds:   []streams.Kind{streams.Control},
+	}, true)
+	defer sub.Cancel()
+	for msg := range sub.C() {
+		d := msg.Directive
+		if d == nil || (d.Op != OpAgentDone && d.Op != OpAgentError) {
+			continue
+		}
+		if id, _ := d.Args["invocation_id"].(string); id == invocationID {
+			return d
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package agent
+
+import (
+	"sync"
+
+	"blueprint/internal/streams"
+)
+
+// token is one value waiting in a place.
+type token struct {
+	value any
+	msg   streams.Message
+}
+
+// petriNet implements the Fig. 4 triggering mechanism: one place per input
+// parameter; a transition fires when every place holds at least one token,
+// yielding the full input tuple for processor().
+type petriNet struct {
+	mu     sync.Mutex
+	params []string
+	places map[string][]token
+	policy TriggerPolicy
+}
+
+func newPetriNet(params []string, policy TriggerPolicy) *petriNet {
+	places := make(map[string][]token, len(params))
+	for _, p := range params {
+		places[p] = nil
+	}
+	return &petriNet{params: params, places: places, policy: policy}
+}
+
+// offer deposits a token into the named place and returns zero or more
+// ready input tuples according to the pairing policy. Unknown places are
+// ignored (the message wasn't addressed to this agent's inputs).
+func (pn *petriNet) offer(place string, tok token) []map[string]token {
+	pn.mu.Lock()
+	defer pn.mu.Unlock()
+	if _, ok := pn.places[place]; !ok {
+		return nil
+	}
+	switch pn.policy {
+	case PairLatest:
+		pn.places[place] = []token{tok}
+	default:
+		pn.places[place] = append(pn.places[place], tok)
+	}
+
+	var fired []map[string]token
+	for pn.readyLocked() {
+		tuple := make(map[string]token, len(pn.params))
+		for _, p := range pn.params {
+			tuple[p] = pn.places[p][0]
+			if pn.policy != PairLatest {
+				pn.places[p] = pn.places[p][1:]
+			}
+		}
+		fired = append(fired, tuple)
+		if pn.policy == PairLatest {
+			// Latest fires once per arrival; tokens stay for reuse.
+			break
+		}
+	}
+	return fired
+}
+
+func (pn *petriNet) readyLocked() bool {
+	for _, p := range pn.params {
+		if len(pn.places[p]) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// pending reports the number of queued tokens per place (observability).
+func (pn *petriNet) pending() map[string]int {
+	pn.mu.Lock()
+	defer pn.mu.Unlock()
+	out := make(map[string]int, len(pn.params))
+	for _, p := range pn.params {
+		out[p] = len(pn.places[p])
+	}
+	return out
+}

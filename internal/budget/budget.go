@@ -1,0 +1,192 @@
+// Package budget implements the blueprint's QoS budget (§IV, §V-H):
+// "records of the current and projected QoS stats to guide execution and
+// planning". The task coordinator charges every agent invocation against the
+// session budget and checks projections before dispatching further steps;
+// violations trigger aborts, replanning or user confirmation.
+package budget
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Limits are the QoS constraints of one task execution.
+type Limits struct {
+	// MaxCost in dollars (0 = unlimited).
+	MaxCost float64
+	// MaxLatency caps accumulated execution latency (0 = unlimited).
+	MaxLatency time.Duration
+	// MinAccuracy is the lowest acceptable running accuracy estimate
+	// (0 = don't care).
+	MinAccuracy float64
+}
+
+// Dimension names a QoS axis.
+type Dimension string
+
+// QoS dimensions.
+const (
+	DimCost     Dimension = "cost"
+	DimLatency  Dimension = "latency"
+	DimAccuracy Dimension = "accuracy"
+)
+
+// Violation records one exceeded constraint.
+type Violation struct {
+	Dimension Dimension
+	// Actual and Limit are rendered per-dimension (dollars, duration,
+	// probability).
+	Actual string
+	Limit  string
+	// Step names the plan step that tripped the limit.
+	Step string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("budget violation on %s at step %q: %s exceeds limit %s", v.Dimension, v.Step, v.Actual, v.Limit)
+}
+
+// Budget tracks actuals against limits. All methods are safe for concurrent
+// use.
+type Budget struct {
+	mu         sync.Mutex
+	limits     Limits
+	cost       float64
+	latency    time.Duration
+	accSum     float64
+	accWeight  float64
+	charges    int
+	violations []Violation
+}
+
+// New creates a budget with the given limits.
+func New(limits Limits) *Budget {
+	return &Budget{limits: limits}
+}
+
+// Limits returns the configured limits.
+func (b *Budget) Limits() Limits {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.limits
+}
+
+// Charge records the actuals of one step and returns the violations it
+// caused (nil when within budget). Accuracy contributes to a cost-weighted
+// running estimate: expensive steps influence the estimate more.
+func (b *Budget) Charge(step string, cost float64, latency time.Duration, accuracy float64) []Violation {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cost += cost
+	b.latency += latency
+	b.charges++
+	if accuracy > 0 {
+		w := cost
+		if w <= 0 {
+			w = 1e-6
+		}
+		b.accSum += accuracy * w
+		b.accWeight += w
+	}
+	var out []Violation
+	if b.limits.MaxCost > 0 && b.cost > b.limits.MaxCost {
+		out = append(out, Violation{
+			Dimension: DimCost, Step: step,
+			Actual: fmt.Sprintf("$%.4f", b.cost),
+			Limit:  fmt.Sprintf("$%.4f", b.limits.MaxCost),
+		})
+	}
+	if b.limits.MaxLatency > 0 && b.latency > b.limits.MaxLatency {
+		out = append(out, Violation{
+			Dimension: DimLatency, Step: step,
+			Actual: b.latency.String(),
+			Limit:  b.limits.MaxLatency.String(),
+		})
+	}
+	if acc, ok := b.accuracyLocked(); ok && b.limits.MinAccuracy > 0 && acc < b.limits.MinAccuracy {
+		out = append(out, Violation{
+			Dimension: DimAccuracy, Step: step,
+			Actual: fmt.Sprintf("%.3f", acc),
+			Limit:  fmt.Sprintf("%.3f", b.limits.MinAccuracy),
+		})
+	}
+	b.violations = append(b.violations, out...)
+	return out
+}
+
+// WouldExceed reports whether adding the projected cost/latency would break
+// the limits — the coordinator's pre-dispatch projection check.
+func (b *Budget) WouldExceed(projCost float64, projLatency time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.limits.MaxCost > 0 && b.cost+projCost > b.limits.MaxCost {
+		return true
+	}
+	if b.limits.MaxLatency > 0 && b.latency+projLatency > b.limits.MaxLatency {
+		return true
+	}
+	return false
+}
+
+// Remaining reports how much cost and latency headroom is left (zero values
+// when the dimension is unlimited).
+func (b *Budget) Remaining() (cost float64, latency time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.limits.MaxCost > 0 {
+		cost = b.limits.MaxCost - b.cost
+		if cost < 0 {
+			cost = 0
+		}
+	}
+	if b.limits.MaxLatency > 0 {
+		latency = b.limits.MaxLatency - b.latency
+		if latency < 0 {
+			latency = 0
+		}
+	}
+	return cost, latency
+}
+
+func (b *Budget) accuracyLocked() (float64, bool) {
+	if b.accWeight == 0 {
+		return 0, false
+	}
+	return b.accSum / b.accWeight, true
+}
+
+// Report is a budget snapshot.
+type Report struct {
+	CostSpent    float64
+	Latency      time.Duration
+	Accuracy     float64 // running estimate; 0 when unknown
+	Charges      int
+	Violations   []Violation
+	CostLimit    float64
+	LatencyLimit time.Duration
+}
+
+// Snapshot returns the current report.
+func (b *Budget) Snapshot() Report {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	acc, _ := b.accuracyLocked()
+	return Report{
+		CostSpent:    b.cost,
+		Latency:      b.latency,
+		Accuracy:     acc,
+		Charges:      b.charges,
+		Violations:   append([]Violation(nil), b.violations...),
+		CostLimit:    b.limits.MaxCost,
+		LatencyLimit: b.limits.MaxLatency,
+	}
+}
+
+// Violated reports whether any violation has occurred.
+func (b *Budget) Violated() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.violations) > 0
+}

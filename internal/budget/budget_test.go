@@ -1,0 +1,155 @@
+package budget
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChargeWithinLimits(t *testing.T) {
+	b := New(Limits{MaxCost: 1.0, MaxLatency: time.Second, MinAccuracy: 0.8})
+	if v := b.Charge("step1", 0.2, 100*time.Millisecond, 0.95); v != nil {
+		t.Fatalf("violations = %v", v)
+	}
+	r := b.Snapshot()
+	if r.CostSpent != 0.2 || r.Latency != 100*time.Millisecond || r.Charges != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.Accuracy != 0.95 {
+		t.Fatalf("accuracy = %v", r.Accuracy)
+	}
+	if b.Violated() {
+		t.Fatal("violated within limits")
+	}
+}
+
+func TestCostViolation(t *testing.T) {
+	b := New(Limits{MaxCost: 0.5})
+	if v := b.Charge("a", 0.3, 0, 0); v != nil {
+		t.Fatalf("early violation: %v", v)
+	}
+	v := b.Charge("b", 0.3, 0, 0)
+	if len(v) != 1 || v[0].Dimension != DimCost || v[0].Step != "b" {
+		t.Fatalf("violations = %v", v)
+	}
+	if !strings.Contains(v[0].String(), "cost") {
+		t.Fatalf("render = %s", v[0])
+	}
+	if !b.Violated() {
+		t.Fatal("not marked violated")
+	}
+}
+
+func TestLatencyViolation(t *testing.T) {
+	b := New(Limits{MaxLatency: 100 * time.Millisecond})
+	v := b.Charge("slow", 0, 150*time.Millisecond, 0)
+	if len(v) != 1 || v[0].Dimension != DimLatency {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestAccuracyViolationCostWeighted(t *testing.T) {
+	b := New(Limits{MinAccuracy: 0.9})
+	// Cheap accurate step, expensive inaccurate step: weighted estimate
+	// sinks below 0.9.
+	if v := b.Charge("good", 0.001, 0, 0.99); v != nil {
+		t.Fatalf("early violation: %v", v)
+	}
+	v := b.Charge("bad", 0.1, 0, 0.5)
+	if len(v) != 1 || v[0].Dimension != DimAccuracy {
+		t.Fatalf("violations = %v", v)
+	}
+	r := b.Snapshot()
+	if r.Accuracy >= 0.9 || r.Accuracy <= 0.5 {
+		t.Fatalf("weighted accuracy = %v", r.Accuracy)
+	}
+}
+
+func TestZeroLimitsNeverViolate(t *testing.T) {
+	b := New(Limits{})
+	for i := 0; i < 100; i++ {
+		if v := b.Charge("s", 10, time.Hour, 0.01); v != nil {
+			t.Fatalf("violation with no limits: %v", v)
+		}
+	}
+}
+
+func TestWouldExceed(t *testing.T) {
+	b := New(Limits{MaxCost: 1.0, MaxLatency: time.Second})
+	b.Charge("s", 0.8, 800*time.Millisecond, 0)
+	if b.WouldExceed(0.1, 100*time.Millisecond) {
+		t.Fatal("within-projection flagged")
+	}
+	if !b.WouldExceed(0.3, 0) {
+		t.Fatal("cost projection not flagged")
+	}
+	if !b.WouldExceed(0, 300*time.Millisecond) {
+		t.Fatal("latency projection not flagged")
+	}
+	// Unlimited budget never exceeds.
+	if New(Limits{}).WouldExceed(1e9, time.Hour) {
+		t.Fatal("unlimited exceeded")
+	}
+}
+
+func TestRemaining(t *testing.T) {
+	b := New(Limits{MaxCost: 1.0, MaxLatency: time.Second})
+	b.Charge("s", 0.25, 400*time.Millisecond, 0)
+	cost, lat := b.Remaining()
+	if cost != 0.75 || lat != 600*time.Millisecond {
+		t.Fatalf("remaining = %v %v", cost, lat)
+	}
+	b.Charge("s2", 10, 10*time.Second, 0)
+	cost, lat = b.Remaining()
+	if cost != 0 || lat != 0 {
+		t.Fatalf("overdrawn remaining = %v %v", cost, lat)
+	}
+}
+
+func TestAccuracyUnknownWhenNoSignal(t *testing.T) {
+	b := New(Limits{MinAccuracy: 0.99})
+	if v := b.Charge("s", 0.1, 0, 0); v != nil {
+		t.Fatalf("accuracy violation without signal: %v", v)
+	}
+	if r := b.Snapshot(); r.Accuracy != 0 {
+		t.Fatalf("accuracy = %v", r.Accuracy)
+	}
+}
+
+func TestConcurrentCharges(t *testing.T) {
+	b := New(Limits{MaxCost: 1000})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Charge("s", 0.01, time.Millisecond, 0.9)
+			}
+		}()
+	}
+	wg.Wait()
+	r := b.Snapshot()
+	if r.Charges != 1600 {
+		t.Fatalf("charges = %d", r.Charges)
+	}
+	want := 16.0
+	if r.CostSpent < want-0.0001 || r.CostSpent > want+0.0001 {
+		t.Fatalf("cost = %v", r.CostSpent)
+	}
+}
+
+func TestSnapshotViolationsCopied(t *testing.T) {
+	b := New(Limits{MaxCost: 0.01})
+	b.Charge("s", 1, 0, 0)
+	r := b.Snapshot()
+	if len(r.Violations) != 1 {
+		t.Fatalf("violations = %v", r.Violations)
+	}
+	r.Violations[0].Step = "mutated"
+	r2 := b.Snapshot()
+	if r2.Violations[0].Step != "s" {
+		t.Fatal("snapshot leaked internal state")
+	}
+}

@@ -1,0 +1,315 @@
+// Package coordinator implements the blueprint's task coordinator (§V-H):
+// it receives a task plan DAG (with an initial budget and the optimizer's
+// projections), directs execution by streaming EXECUTE_AGENT instructions to
+// agents, applies the data planner's transformations so upstream outputs fit
+// downstream inputs (e.g. PROFILER.CRITERIA <- USER.TEXT), monitors actual
+// cost/latency/accuracy against the budget, and aborts or triggers
+// replanning when thresholds are exceeded.
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"blueprint/internal/agent"
+	"blueprint/internal/budget"
+	"blueprint/internal/dataplan"
+	"blueprint/internal/llm"
+	"blueprint/internal/optimizer"
+	"blueprint/internal/planner"
+	"blueprint/internal/registry"
+	"blueprint/internal/streams"
+)
+
+// Coordinator errors.
+var (
+	ErrAborted     = errors.New("coordinator: execution aborted")
+	ErrStepFailed  = errors.New("coordinator: step failed")
+	ErrStepTimeout = errors.New("coordinator: step timed out")
+)
+
+// ViolationPolicy selects what happens when the budget is (or would be)
+// exceeded.
+type ViolationPolicy int
+
+const (
+	// Abort stops execution and emits an ABORT control message (default).
+	Abort ViolationPolicy = iota
+	// Replan asks the task planner for an alternative for the pending step
+	// and retries once before aborting.
+	Replan
+	// Confirm consults the ConfirmFunc; execution continues if it returns
+	// true ("prompt the user to confirm budget violations", §V-H).
+	Confirm
+)
+
+// Options configure a coordinator.
+type Options struct {
+	// OnViolation selects the budget-violation policy.
+	OnViolation ViolationPolicy
+	// ConfirmFunc is consulted under the Confirm policy.
+	ConfirmFunc func(violations []budget.Violation) bool
+	// StepTimeout bounds one agent invocation end-to-end (default 30s).
+	StepTimeout time.Duration
+	// RetryOnError enables one replan+retry when an agent reports an error.
+	RetryOnError bool
+}
+
+// Coordinator executes task plans over a stream store.
+type Coordinator struct {
+	store *streams.Store
+	reg   *registry.AgentRegistry
+	tp    *planner.TaskPlanner
+	model *llm.Model
+	opts  Options
+}
+
+// New creates a coordinator. The planner may be nil when replanning is not
+// needed; the model backs user-text transforms (criteria extraction).
+func New(store *streams.Store, reg *registry.AgentRegistry, tp *planner.TaskPlanner, model *llm.Model, opts Options) *Coordinator {
+	if opts.StepTimeout <= 0 {
+		opts.StepTimeout = 30 * time.Second
+	}
+	return &Coordinator{store: store, reg: reg, tp: tp, model: model, opts: opts}
+}
+
+// StepResult records one executed step.
+type StepResult struct {
+	StepID  string
+	Agent   string
+	Outputs map[string]any
+	Cost    float64
+	Latency time.Duration
+	Err     string
+}
+
+// Result is the outcome of one plan execution.
+type Result struct {
+	PlanID string
+	// Steps holds per-step results in execution order.
+	Steps []StepResult
+	// Final holds the last step's outputs.
+	Final map[string]any
+	// Budget is the closing budget report.
+	Budget budget.Report
+	// Aborted reports whether execution stopped on a violation.
+	Aborted bool
+	// AbortReason describes why.
+	AbortReason string
+	// Replans counts replanning events.
+	Replans int
+}
+
+// ExecutePlan runs the plan within the session, charging b for every step.
+func (c *Coordinator) ExecutePlan(session string, p *planner.Plan, b *budget.Budget) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		b = budget.New(budget.Limits{})
+	}
+	res := &Result{PlanID: p.ID}
+	outputs := map[string]map[string]any{}
+
+	// Pre-execution projection (§V-H: plan arrives "along with an initial
+	// budget and projected costs (estimated by the optimizer)").
+	projCost, projLatency, _ := optimizer.EstimatePlan(p, c.reg)
+	if b.WouldExceed(projCost, projLatency) {
+		switch c.opts.OnViolation {
+		case Confirm:
+			if c.opts.ConfirmFunc != nil && c.opts.ConfirmFunc(nil) {
+				break
+			}
+			return c.abort(session, res, b, fmt.Sprintf("projected cost $%.4f/latency %s exceeds budget", projCost, projLatency))
+		case Replan:
+			if c.tp != nil && c.reg != nil {
+				if n, _ := optimizer.AssignAgents(p, c.reg, optimizer.CheapestObjectives(), b.Limits()); n > 0 {
+					res.Replans++
+					projCost, projLatency, _ = optimizer.EstimatePlan(p, c.reg)
+					if b.WouldExceed(projCost, projLatency) {
+						return c.abort(session, res, b, "still over budget after cost-optimized reassignment")
+					}
+					break
+				}
+			}
+			return c.abort(session, res, b, fmt.Sprintf("projected cost $%.4f exceeds budget and no replan available", projCost))
+		default:
+			return c.abort(session, res, b, fmt.Sprintf("projected cost $%.4f/latency %s exceeds budget", projCost, projLatency))
+		}
+	}
+
+	steps := p.Steps
+	for i := 0; i < len(steps); i++ {
+		step := steps[i]
+		inputs, err := c.resolveInputs(session, p, step, outputs, b)
+		if err != nil {
+			return res, fmt.Errorf("%w: %s: %v", ErrStepFailed, step.ID, err)
+		}
+		sr, execErr := c.executeStep(session, p, step, inputs)
+		if execErr != nil && c.opts.RetryOnError && c.tp != nil {
+			np, rerr := c.tp.Replan(p, step.ID)
+			if rerr == nil {
+				res.Replans++
+				alt, _ := np.Step(step.ID)
+				sr, execErr = c.executeStep(session, np, alt, inputs)
+				if execErr == nil {
+					step = alt
+				}
+			}
+		}
+		res.Steps = append(res.Steps, sr)
+		if execErr != nil {
+			return res, fmt.Errorf("%w: %s (%s): %v", ErrStepFailed, step.ID, step.Agent, execErr)
+		}
+		outputs[step.ID] = sr.Outputs
+		res.Final = sr.Outputs
+
+		spec, _ := c.reg.Get(step.Agent)
+		acc := spec.QoS.Accuracy
+		violations := b.Charge(step.ID+":"+step.Agent, sr.Cost, sr.Latency, acc)
+		if len(violations) > 0 {
+			switch c.opts.OnViolation {
+			case Confirm:
+				if c.opts.ConfirmFunc != nil && c.opts.ConfirmFunc(violations) {
+					continue
+				}
+				return c.abort(session, res, b, violations[0].String())
+			default:
+				return c.abort(session, res, b, violations[0].String())
+			}
+		}
+	}
+	res.Budget = b.Snapshot()
+	return res, nil
+}
+
+func (c *Coordinator) abort(session string, res *Result, b *budget.Budget, reason string) (*Result, error) {
+	res.Aborted = true
+	res.AbortReason = reason
+	res.Budget = b.Snapshot()
+	_, _ = c.store.Append(streams.Message{
+		Stream: agent.ControlStream(session), Kind: streams.Control, Sender: "coordinator",
+		Directive: &streams.Directive{Op: streams.OpAbort, Args: map[string]any{"reason": reason}},
+	})
+	return res, fmt.Errorf("%w: %s", ErrAborted, reason)
+}
+
+// resolveInputs materializes a step's bindings: upstream outputs by
+// reference, literals directly, and user text — transformed through a
+// micro data plan (extract operator) when the binding names a transform.
+func (c *Coordinator) resolveInputs(session string, p *planner.Plan, step planner.Step, outputs map[string]map[string]any, b *budget.Budget) (map[string]any, error) {
+	inputs := map[string]any{}
+	for param, bind := range step.Bindings {
+		switch {
+		case bind.FromStep != "":
+			stepOut, ok := outputs[bind.FromStep]
+			if !ok {
+				return nil, fmt.Errorf("step %s output not available for %s", bind.FromStep, param)
+			}
+			v, ok := stepOut[bind.FromParam]
+			if !ok {
+				return nil, fmt.Errorf("output %s.%s not produced", bind.FromStep, bind.FromParam)
+			}
+			inputs[param] = v
+		case bind.FromUserText:
+			text := p.Utterance
+			if bind.Transform != "" && c.model != nil {
+				transformed, usage, err := c.transform(bind.Transform, text)
+				if err != nil {
+					return nil, err
+				}
+				b.Charge("transform:"+param, usage.Cost, usage.Latency, 0)
+				text = transformed
+			}
+			inputs[param] = text
+		case bind.Value != nil:
+			inputs[param] = bind.Value
+		}
+	}
+	return inputs, nil
+}
+
+// transform runs USER.TEXT through the data planner's extract operator
+// (§V-H: "the coordinator invokes the data planner to identify and generate
+// a sequence of data operations to transform output data").
+func (c *Coordinator) transform(transform, text string) (string, dataplan.Estimate, error) {
+	instruction := transform
+	if len(transform) > 7 && transform[:7] == "derive:" {
+		instruction = transform[7:]
+	}
+	plan := &dataplan.Plan{
+		Query:    "transform " + instruction,
+		Strategy: "transform",
+		Nodes: []dataplan.Node{{
+			ID: "x", Kind: dataplan.OpExtract,
+			Args: map[string]any{"instruction": instruction, "text": text},
+		}},
+		Output: "x",
+	}
+	exec := dataplan.NewExecutor(dataplan.Sources{Model: c.model})
+	out, err := exec.Execute(plan)
+	if err != nil {
+		return "", dataplan.Estimate{}, err
+	}
+	return out.Text, out.Usage, nil
+}
+
+// executeStep streams an EXECUTE_AGENT instruction and awaits its DONE or
+// ERROR report, collecting outputs from the step's reply stream.
+func (c *Coordinator) executeStep(session string, p *planner.Plan, step planner.Step, inputs map[string]any) (StepResult, error) {
+	sr := StepResult{StepID: step.ID, Agent: step.Agent, Outputs: map[string]any{}}
+	replyStream := fmt.Sprintf("%s:%s:%s", session, p.ID, step.ID)
+	invID := fmt.Sprintf("%s-%s", p.ID, step.ID)
+
+	// Subscribe to control reports before issuing the instruction.
+	ctrl := c.store.Subscribe(streams.Filter{
+		Streams: []string{agent.ControlStream(session)},
+		Kinds:   []streams.Kind{streams.Control},
+	}, false)
+	defer ctrl.Cancel()
+
+	if err := agent.Execute(c.store, session, step.Agent, inputs, replyStream, invID); err != nil {
+		return sr, err
+	}
+
+	timeout := time.After(c.opts.StepTimeout)
+	for {
+		select {
+		case msg, ok := <-ctrl.C():
+			if !ok {
+				return sr, fmt.Errorf("control stream closed")
+			}
+			d := msg.Directive
+			if d == nil {
+				continue
+			}
+			if id, _ := d.Args["invocation_id"].(string); id != invID {
+				continue
+			}
+			switch d.Op {
+			case agent.OpAgentError:
+				errMsg, _ := d.Args["error"].(string)
+				sr.Err = errMsg
+				return sr, errors.New(errMsg)
+			case agent.OpAgentDone:
+				sr.Cost, _ = d.Args["cost"].(float64)
+				if ms, ok := d.Args["latency_ms"].(float64); ok {
+					sr.Latency = time.Duration(ms * float64(time.Millisecond))
+				}
+				msgs, err := c.store.ReadAll(replyStream)
+				if err == nil {
+					for _, m := range msgs {
+						if m.Param != "" {
+							sr.Outputs[m.Param] = m.Payload
+						}
+					}
+				}
+				return sr, nil
+			}
+		case <-timeout:
+			sr.Err = "timeout"
+			return sr, fmt.Errorf("%w: %s after %s", ErrStepTimeout, step.ID, c.opts.StepTimeout)
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package coordinator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"blueprint/internal/agent"
+	"blueprint/internal/budget"
+	"blueprint/internal/llm"
+	"blueprint/internal/planner"
+	"blueprint/internal/registry"
+	"blueprint/internal/streams"
+)
+
+const sess = "session:coord"
+
+// env wires a store, registry and the three Fig. 6 agents (PROFILER,
+// JOBMATCHER, PRESENTER) implemented as simple processors.
+type env struct {
+	store *streams.Store
+	reg   *registry.AgentRegistry
+	tp    *planner.TaskPlanner
+	model *llm.Model
+	insts []*agent.Instance
+}
+
+func newEnv(t testing.TB) *env {
+	t.Helper()
+	store := streams.NewStore()
+	t.Cleanup(func() { store.Close() })
+	reg := registry.NewAgentRegistry()
+	model := llm.New(llm.Config{Name: "coord-llm", Accuracy: 1.0, CostPer1K: 0.001, Seed: 9}, nil)
+
+	e := &env{store: store, reg: reg, model: model}
+	t.Cleanup(func() {
+		for _, in := range e.insts {
+			in.Stop()
+		}
+	})
+
+	add := func(spec registry.AgentSpec, proc agent.Processor) {
+		if err := reg.Register(spec); err != nil {
+			t.Fatal(err)
+		}
+		inst, err := agent.Attach(store, sess, agent.New(spec, proc), agent.Options{DisableListen: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.insts = append(e.insts, inst)
+	}
+
+	add(registry.AgentSpec{
+		Name:        "PROFILER",
+		Description: "collect job seeker profile information from the user via a profile form",
+		Inputs:      []registry.ParamSpec{{Name: "CRITERIA", Type: "text"}},
+		Outputs:     []registry.ParamSpec{{Name: "JOBSEEKER_DATA", Type: "profile"}},
+		QoS:         registry.QoSProfile{CostPerCall: 0.001, Latency: 5 * time.Millisecond, Accuracy: 0.95},
+	}, func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
+		criteria, _ := inv.Inputs["CRITERIA"].(string)
+		return agent.Outputs{Values: map[string]any{
+			"JOBSEEKER_DATA": map[string]any{"criteria": criteria, "skills": []any{"python", "sql"}},
+		}}, nil
+	})
+
+	add(registry.AgentSpec{
+		Name:        "JOBMATCHER",
+		Description: "match the job seeker profile with available job listings ranking match quality",
+		Inputs:      []registry.ParamSpec{{Name: "JOBSEEKER_DATA", Type: "profile"}},
+		Outputs:     []registry.ParamSpec{{Name: "MATCHES", Type: "rows"}},
+		QoS:         registry.QoSProfile{CostPerCall: 0.01, Latency: 20 * time.Millisecond, Accuracy: 0.9},
+	}, func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
+		profile, _ := inv.Inputs["JOBSEEKER_DATA"].(map[string]any)
+		criteria, _ := profile["criteria"].(string)
+		return agent.Outputs{Values: map[string]any{
+			"MATCHES": []any{
+				map[string]any{"job": "Data Scientist @ Acme", "criteria": criteria, "score": 0.92},
+				map[string]any{"job": "ML Engineer @ DataWorks", "criteria": criteria, "score": 0.81},
+			},
+		}}, nil
+	})
+
+	add(registry.AgentSpec{
+		Name:        "PRESENTER",
+		Description: "present the matched jobs to the end user rendering results",
+		Inputs:      []registry.ParamSpec{{Name: "MATCHES", Type: "rows"}},
+		Outputs:     []registry.ParamSpec{{Name: "RENDERED", Type: "text"}},
+		QoS:         registry.QoSProfile{CostPerCall: 0.0005, Latency: 2 * time.Millisecond, Accuracy: 1.0},
+	}, func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
+		matches, _ := inv.Inputs["MATCHES"].([]any)
+		var b strings.Builder
+		for i, m := range matches {
+			mm, _ := m.(map[string]any)
+			fmt.Fprintf(&b, "%d. %v\n", i+1, mm["job"])
+		}
+		return agent.Outputs{
+			Values:  map[string]any{"RENDERED": b.String()},
+			Display: b.String(),
+		}, nil
+	})
+
+	e.tp = planner.New(reg, model, nil)
+	return e
+}
+
+func TestExecuteFig6PlanEndToEnd(t *testing.T) {
+	e := newEnv(t)
+	c := New(e.store, e.reg, e.tp, e.model, Options{})
+	plan, err := e.tp.Plan("I am looking for a data scientist position in SF bay area.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := budget.New(budget.Limits{MaxCost: 1.0})
+	res, err := c.ExecutePlan(sess, plan, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 3 || res.Aborted {
+		t.Fatalf("result = %+v", res)
+	}
+	rendered, _ := res.Final["RENDERED"].(string)
+	if !strings.Contains(rendered, "Data Scientist @ Acme") {
+		t.Fatalf("rendered = %q", rendered)
+	}
+	// The criteria transform stripped the conversational filler before it
+	// reached the PROFILER (PROFILER.CRITERIA <- USER.TEXT).
+	s1 := res.Steps[0]
+	profile, _ := s1.Outputs["JOBSEEKER_DATA"].(map[string]any)
+	if got := profile["criteria"]; got != "data scientist position in SF bay area" {
+		t.Fatalf("criteria = %q", got)
+	}
+	// Budget charged per step (3 steps + 1 transform).
+	if res.Budget.Charges != 4 {
+		t.Fatalf("charges = %d", res.Budget.Charges)
+	}
+	if res.Budget.CostSpent <= 0 {
+		t.Fatalf("cost = %v", res.Budget.CostSpent)
+	}
+}
+
+func TestBudgetAbortsMidPlan(t *testing.T) {
+	e := newEnv(t)
+	c := New(e.store, e.reg, e.tp, e.model, Options{})
+	plan, err := e.tp.Plan("I am looking for a data scientist position.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough for step 1 (+transform) but not step 2 actuals.
+	b := budget.New(budget.Limits{MaxCost: 0.002})
+	abortSub := e.store.Subscribe(streams.Filter{
+		Streams: []string{agent.ControlStream(sess)},
+		Kinds:   []streams.Kind{streams.Control},
+	}, false)
+	defer abortSub.Cancel()
+
+	// Pre-projection would catch this; test mid-plan enforcement by using
+	// Confirm policy that accepts the projection but rejects actuals.
+	calls := 0
+	c.opts.OnViolation = Confirm
+	c.opts.ConfirmFunc = func(v []budget.Violation) bool {
+		calls++
+		return v == nil // accept projection warning, reject actual violations
+	}
+	res, err := c.ExecutePlan(sess, plan, b)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v", err)
+	}
+	if !res.Aborted || res.AbortReason == "" {
+		t.Fatalf("result = %+v", res)
+	}
+	if calls < 1 {
+		t.Fatal("confirm not consulted")
+	}
+	// ABORT control message observable on the stream.
+	select {
+	case msg := <-abortSub.C():
+		for msg.Directive == nil || msg.Directive.Op != streams.OpAbort {
+			msg = <-abortSub.C()
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no ABORT message")
+	}
+}
+
+func TestProjectionAbortBeforeExecution(t *testing.T) {
+	e := newEnv(t)
+	c := New(e.store, e.reg, e.tp, e.model, Options{})
+	plan, _ := e.tp.Plan("I am looking for a data scientist position.")
+	b := budget.New(budget.Limits{MaxCost: 0.0001}) // below projected total
+	res, err := c.ExecutePlan(sess, plan, b)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(res.Steps) != 0 {
+		t.Fatalf("steps ran despite projection abort: %+v", res.Steps)
+	}
+}
+
+func TestConfirmPolicyContinues(t *testing.T) {
+	e := newEnv(t)
+	c := New(e.store, e.reg, e.tp, e.model, Options{
+		OnViolation: Confirm,
+		ConfirmFunc: func(v []budget.Violation) bool { return true },
+	})
+	plan, _ := e.tp.Plan("I am looking for a data scientist position.")
+	b := budget.New(budget.Limits{MaxCost: 0.0001})
+	res, err := c.ExecutePlan(sess, plan, b)
+	if err != nil {
+		t.Fatalf("confirmed execution failed: %v", err)
+	}
+	if res.Aborted || len(res.Steps) != 3 {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(res.Budget.Violations) == 0 {
+		t.Fatal("violations not recorded")
+	}
+}
+
+func TestRetryOnErrorReplans(t *testing.T) {
+	e := newEnv(t)
+	// A failing matcher registered more prominently, plus the working one.
+	spec := registry.AgentSpec{
+		Name:        "FLAKY_MATCHER",
+		Description: "match the job seeker profile with available job listings ranking match quality precisely",
+		Inputs:      []registry.ParamSpec{{Name: "JOBSEEKER_DATA", Type: "profile"}},
+		Outputs:     []registry.ParamSpec{{Name: "MATCHES", Type: "rows"}},
+	}
+	if err := e.reg.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := agent.Attach(e.store, sess, agent.New(spec, func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
+		return agent.Outputs{}, errors.New("model unavailable")
+	}), agent.Options{DisableListen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Stop()
+
+	c := New(e.store, e.reg, e.tp, e.model, Options{RetryOnError: true})
+	// Hand-build a plan whose matcher step uses the flaky agent.
+	plan := &planner.Plan{
+		ID: "manual-1", Utterance: "match me", Intent: "rank",
+		Steps: []planner.Step{
+			{ID: "s1", Agent: "PROFILER", Task: "collect job seeker profile information from the user",
+				Bindings: map[string]planner.Binding{"CRITERIA": {FromUserText: true}}},
+			{ID: "s2", Agent: "FLAKY_MATCHER", Task: "match the job seeker profile with available job listings",
+				Bindings: map[string]planner.Binding{"JOBSEEKER_DATA": {FromStep: "s1", FromParam: "JOBSEEKER_DATA"}}},
+		},
+	}
+	res, err := c.ExecutePlan(sess, plan, budget.New(budget.Limits{}))
+	if err != nil {
+		t.Fatalf("replan retry failed: %v (res=%+v)", err, res)
+	}
+	if res.Replans != 1 {
+		t.Fatalf("replans = %d", res.Replans)
+	}
+	if res.Steps[len(res.Steps)-1].Agent == "FLAKY_MATCHER" {
+		t.Fatal("retry kept flaky agent")
+	}
+}
+
+func TestStepFailureWithoutRetry(t *testing.T) {
+	e := newEnv(t)
+	c := New(e.store, e.reg, e.tp, e.model, Options{})
+	plan := &planner.Plan{
+		ID: "manual-2", Utterance: "x", Intent: "rank",
+		Steps: []planner.Step{{ID: "s1", Agent: "NO_SUCH_AGENT", Task: "anything"}},
+	}
+	c.opts.StepTimeout = 300 * time.Millisecond
+	_, err := c.ExecutePlan(sess, plan, budget.New(budget.Limits{}))
+	if !errors.Is(err, ErrStepFailed) && !errors.Is(err, ErrStepTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnresolvableBinding(t *testing.T) {
+	e := newEnv(t)
+	c := New(e.store, e.reg, e.tp, e.model, Options{})
+	plan := &planner.Plan{
+		ID: "manual-3", Utterance: "x", Intent: "rank",
+		Steps: []planner.Step{
+			{ID: "s1", Agent: "PRESENTER", Task: "present",
+				Bindings: map[string]planner.Binding{"MATCHES": {FromStep: "s0", FromParam: "MATCHES"}}},
+		},
+	}
+	if err := plan.Validate(); err == nil {
+		t.Fatal("plan with forward dep validated")
+	}
+	_, err := c.ExecutePlan(sess, plan, budget.New(budget.Limits{}))
+	if err == nil {
+		t.Fatal("executed invalid plan")
+	}
+}
+
+func TestServiceExecutesEmittedPlans(t *testing.T) {
+	e := newEnv(t)
+	c := New(e.store, e.reg, e.tp, e.model, Options{})
+	svc := c.Serve(sess, budget.Limits{MaxCost: 1.0})
+	defer svc.Stop()
+
+	plan, err := e.tp.Plan("I am looking for a data scientist position in SF bay area.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := planner.EmitPlan(e.store, sess, plan); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if rs := svc.Results(); len(rs) == 1 {
+			if rs[0].Aborted {
+				t.Fatalf("service result aborted: %+v", rs[0])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("service never executed the plan")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Final outputs surfaced on the display stream.
+	msgs, err := e.store.ReadAll(agent.DisplayStream(sess))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range msgs {
+		if m.Sender == "coordinator" && m.HasTag("result") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no coordinator result on display stream")
+	}
+}

@@ -1,0 +1,121 @@
+package coordinator
+
+import (
+	"sync"
+
+	"blueprint/internal/agent"
+	"blueprint/internal/budget"
+	"blueprint/internal/planner"
+	"blueprint/internal/streams"
+)
+
+// Service runs the coordinator as a long-lived session participant: it
+// listens to the session control stream for PLAN directives (emitted by the
+// task planner agent or any component) and executes each plan — the "TC
+// listening to any stream with a plan unrolls the plan" behaviour of Fig. 9.
+type Service struct {
+	c       *Coordinator
+	session string
+	limits  budget.Limits
+	sub     *streams.Subscription
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	results   []*Result
+	extraSubs []*streams.Subscription
+}
+
+// Serve starts the coordinator service on a session. Each incoming plan is
+// executed with a fresh budget under the given limits.
+func (c *Coordinator) Serve(session string, limits budget.Limits) *Service {
+	s := &Service{c: c, session: session, limits: limits}
+	s.sub = c.store.Subscribe(streams.Filter{
+		Session: session,
+		Kinds:   []streams.Kind{streams.Control},
+	}, false)
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+func (s *Service) loop() {
+	defer s.wg.Done()
+	for msg := range s.sub.C() {
+		d := msg.Directive
+		if d == nil || d.Op != streams.OpPlan {
+			continue
+		}
+		payload, ok := d.Args["plan"]
+		if !ok {
+			continue
+		}
+		s.execute(payload)
+	}
+}
+
+// PlanTag marks data messages carrying a plan payload.
+const PlanTag = "plan"
+
+// WatchPlans additionally consumes plan-tagged *data* messages (the task
+// planner agent publishes its PLAN output parameter as data tagged "plan").
+func (s *Service) WatchPlans() {
+	sub := s.c.store.Subscribe(streams.Filter{
+		Session:     s.session,
+		Kinds:       []streams.Kind{streams.Data},
+		IncludeTags: []string{PlanTag},
+	}, false)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for msg := range sub.C() {
+			s.execute(msg.Payload)
+		}
+	}()
+	s.mu.Lock()
+	s.extraSubs = append(s.extraSubs, sub)
+	s.mu.Unlock()
+}
+
+func (s *Service) execute(payload any) {
+	p, err := planner.FromJSON(payload)
+	if err != nil || p.Validate() != nil {
+		return
+	}
+	b := budget.New(s.limits)
+	res, err := s.c.ExecutePlan(s.session, p, b)
+	if res != nil {
+		s.mu.Lock()
+		s.results = append(s.results, res)
+		s.mu.Unlock()
+	}
+	if err == nil && res != nil {
+		// Surface the final outputs on the display stream for the user.
+		for param, v := range res.Final {
+			_, _ = s.c.store.Publish(streams.Message{
+				Stream: agent.DisplayStream(s.session), Session: s.session,
+				Kind: streams.Data, Sender: "coordinator", Param: param,
+				Tags: []string{"result"}, Payload: v,
+			})
+		}
+	}
+}
+
+// Results returns the plans executed so far.
+func (s *Service) Results() []*Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Result(nil), s.results...)
+}
+
+// Stop cancels subscriptions and waits for in-flight executions.
+func (s *Service) Stop() {
+	s.sub.Cancel()
+	s.mu.Lock()
+	extras := s.extraSubs
+	s.extraSubs = nil
+	s.mu.Unlock()
+	for _, sub := range extras {
+		sub.Cancel()
+	}
+	s.wg.Wait()
+}

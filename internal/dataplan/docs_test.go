@@ -1,0 +1,21 @@
+package dataplan
+
+import (
+	"testing"
+
+	"blueprint/internal/docstore"
+)
+
+// newDocs builds a small profiles collection for OpDocFind tests.
+func newDocs(t testing.TB) *docstore.Store {
+	t.Helper()
+	ds := docstore.NewStore()
+	ds.EnsureCollection("profiles")
+	if err := ds.Insert("profiles", "p1", docstore.Doc{"name": "Ada", "title": "Data Scientist"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Insert("profiles", "p2", docstore.Doc{"name": "Alan", "title": "Analyst"}); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}

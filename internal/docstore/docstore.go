@@ -1,0 +1,330 @@
+// Package docstore implements an embedded document database: named
+// collections of JSON-like documents with field queries, secondary indexes,
+// sorting and projection.
+//
+// In the blueprint architecture it plays the role of the enterprise's
+// document databases — the PROFILES collection of job-seeker profiles and
+// resumes (§II, §V-D). The data registry exposes its collections and fields
+// so the data planner can discover and query them.
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Common errors.
+var (
+	ErrCollectionExists   = errors.New("docstore: collection already exists")
+	ErrCollectionNotFound = errors.New("docstore: collection not found")
+	ErrDocNotFound        = errors.New("docstore: document not found")
+	ErrDuplicateID        = errors.New("docstore: duplicate document id")
+)
+
+// Doc is a single document. Field values are JSON-like: string, float64,
+// int, int64, bool, nil, []any, map[string]any.
+type Doc map[string]any
+
+// Clone returns a deep-enough copy (top level and nested maps/slices).
+func (d Doc) Clone() Doc {
+	return cloneValue(map[string]any(d)).(map[string]any)
+}
+
+func cloneValue(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, vv := range x {
+			out[k] = cloneValue(vv)
+		}
+		return out
+	case Doc:
+		return cloneValue(map[string]any(x))
+	case []any:
+		out := make([]any, len(x))
+		for i, vv := range x {
+			out[i] = cloneValue(vv)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// Get returns a (possibly dotted) field path value: "skills.0" or
+// "address.city".
+func (d Doc) Get(path string) (any, bool) {
+	var cur any = map[string]any(d)
+	for _, part := range strings.Split(path, ".") {
+		switch node := cur.(type) {
+		case map[string]any:
+			v, ok := node[part]
+			if !ok {
+				return nil, false
+			}
+			cur = v
+		case Doc:
+			v, ok := node[part]
+			if !ok {
+				return nil, false
+			}
+			cur = v
+		case []any:
+			idx := -1
+			if _, err := fmt.Sscanf(part, "%d", &idx); err != nil || idx < 0 || idx >= len(node) {
+				return nil, false
+			}
+			cur = node[idx]
+		default:
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// collection stores documents by id.
+type collection struct {
+	mu      sync.RWMutex
+	name    string
+	docs    map[string]Doc
+	order   []string
+	indexes map[string]map[string][]string // field -> valueKey -> ids
+}
+
+// Store is a set of collections.
+type Store struct {
+	mu    sync.RWMutex
+	colls map[string]*collection
+	order []string
+}
+
+// NewStore creates an empty document store.
+func NewStore() *Store {
+	return &Store{colls: make(map[string]*collection)}
+}
+
+// CreateCollection registers a new collection.
+func (s *Store) CreateCollection(name string) error {
+	key := strings.ToLower(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.colls[key]; ok {
+		return fmt.Errorf("%w: %s", ErrCollectionExists, name)
+	}
+	s.colls[key] = &collection{name: name, docs: make(map[string]Doc), indexes: make(map[string]map[string][]string)}
+	s.order = append(s.order, key)
+	return nil
+}
+
+// EnsureCollection creates the collection if absent.
+func (s *Store) EnsureCollection(name string) {
+	if err := s.CreateCollection(name); err != nil && !errors.Is(err, ErrCollectionExists) {
+		panic(err) // unreachable: CreateCollection only returns ErrCollectionExists
+	}
+}
+
+func (s *Store) coll(name string) (*collection, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.colls[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrCollectionNotFound, name)
+	}
+	return c, nil
+}
+
+// CollectionInfo summarizes one collection for the data registry.
+type CollectionInfo struct {
+	Name    string
+	Docs    int
+	Fields  []string // union of top-level field names (sorted)
+	Indexed []string // indexed fields (sorted)
+}
+
+// Collections lists collection summaries in creation order.
+func (s *Store) Collections() []CollectionInfo {
+	s.mu.RLock()
+	keys := append([]string(nil), s.order...)
+	s.mu.RUnlock()
+	out := make([]CollectionInfo, 0, len(keys))
+	for _, k := range keys {
+		s.mu.RLock()
+		c, ok := s.colls[k]
+		s.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		out = append(out, c.info())
+	}
+	return out
+}
+
+func (c *collection) info() CollectionInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	fields := map[string]bool{}
+	for _, d := range c.docs {
+		for f := range d {
+			fields[f] = true
+		}
+	}
+	ci := CollectionInfo{Name: c.name, Docs: len(c.docs)}
+	for f := range fields {
+		ci.Fields = append(ci.Fields, f)
+	}
+	sort.Strings(ci.Fields)
+	for f := range c.indexes {
+		ci.Indexed = append(ci.Indexed, f)
+	}
+	sort.Strings(ci.Indexed)
+	return ci
+}
+
+// Insert stores doc under id. The document is cloned on the way in.
+func (s *Store) Insert(coll, id string, doc Doc) error {
+	c, err := s.coll(coll)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.docs[id]; ok {
+		return fmt.Errorf("%w: %s/%s", ErrDuplicateID, coll, id)
+	}
+	cp := doc.Clone()
+	c.docs[id] = cp
+	c.order = append(c.order, id)
+	for field, ix := range c.indexes {
+		if v, ok := cp.Get(field); ok {
+			k := valueKey(v)
+			ix[k] = append(ix[k], id)
+		}
+	}
+	return nil
+}
+
+// Upsert stores doc under id, replacing any existing document.
+func (s *Store) Upsert(coll, id string, doc Doc) error {
+	c, err := s.coll(coll)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.docs[id]; ok {
+		c.unindexLocked(id, old)
+	} else {
+		c.order = append(c.order, id)
+	}
+	cp := doc.Clone()
+	c.docs[id] = cp
+	for field, ix := range c.indexes {
+		if v, ok := cp.Get(field); ok {
+			k := valueKey(v)
+			ix[k] = append(ix[k], id)
+		}
+	}
+	return nil
+}
+
+// Get returns the document stored under id (a copy).
+func (s *Store) Get(coll, id string) (Doc, error) {
+	c, err := s.coll(coll)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrDocNotFound, coll, id)
+	}
+	return d.Clone(), nil
+}
+
+// Delete removes the document stored under id.
+func (s *Store) Delete(coll, id string) error {
+	c, err := s.coll(coll)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrDocNotFound, coll, id)
+	}
+	c.unindexLocked(id, d)
+	delete(c.docs, id)
+	for i, x := range c.order {
+		if x == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+func (c *collection) unindexLocked(id string, d Doc) {
+	for field, ix := range c.indexes {
+		if v, ok := d.Get(field); ok {
+			k := valueKey(v)
+			ids := ix[k]
+			for i, x := range ids {
+				if x == id {
+					ix[k] = append(ids[:i], ids[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+// CreateIndex builds an equality index over a (possibly dotted) field path.
+func (s *Store) CreateIndex(coll, field string) error {
+	c, err := s.coll(coll)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.indexes[field]; ok {
+		return nil
+	}
+	ix := make(map[string][]string)
+	for _, id := range c.order {
+		if v, ok := c.docs[id].Get(field); ok {
+			k := valueKey(v)
+			ix[k] = append(ix[k], id)
+		}
+	}
+	c.indexes[field] = ix
+	return nil
+}
+
+// valueKey renders an index key for a field value; numbers are unified so
+// 3 and 3.0 collide intentionally.
+func valueKey(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case string:
+		return "s:" + x
+	case bool:
+		if x {
+			return "b:1"
+		}
+		return "b:0"
+	case int:
+		return fmt.Sprintf("n:%g", float64(x))
+	case int64:
+		return fmt.Sprintf("n:%g", float64(x))
+	case float64:
+		return fmt.Sprintf("n:%g", x)
+	default:
+		return fmt.Sprintf("o:%v", x)
+	}
+}

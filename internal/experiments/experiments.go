@@ -1,0 +1,112 @@
+// Package experiments regenerates every figure of the paper as a measured
+// table (the paper has no numeric tables; Figures 1-10 are its evaluation
+// surface). Each Fig* function runs the corresponding system behaviour and
+// returns the series recorded in EXPERIMENTS.md. cmd/benchharness prints
+// them; bench_test.go wraps the same paths as testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Metric is one measured value.
+type Metric struct {
+	Name  string
+	Value string
+}
+
+// Row is one series point of an experiment.
+type Row struct {
+	Series  string
+	Metrics []Metric
+}
+
+// Table is one experiment's result.
+type Table struct {
+	ID    string // "F1".."F10", "A1".."A3"
+	Title string
+	Rows  []Row
+	Notes []string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	width := 10
+	for _, r := range t.Rows {
+		if len(r.Series) > width {
+			width = len(r.Series)
+		}
+	}
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "  %-*s", width, r.Series)
+		for _, m := range r.Metrics {
+			fmt.Fprintf(&b, "  %s=%s", m.Name, m.Value)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// All runs every experiment (deterministic seed) and returns the tables in
+// id order.
+func All(seed int64) ([]*Table, error) {
+	type exp struct {
+		id  string
+		run func(int64) (*Table, error)
+	}
+	exps := []exp{
+		{"F1", Fig1EndToEnd},
+		{"F2", Fig2Deployment},
+		{"F3", Fig3AgentModel},
+		{"F4", Fig4PetriTriggering},
+		{"F5", Fig5DataRegistry},
+		{"F6", Fig6TaskPlan},
+		{"F7", Fig7DataPlan},
+		{"F8", Fig8Conversation},
+		{"F9", Fig9UIFlow},
+		{"F10", Fig10ConversationFlow},
+		{"A1", AblationBudget},
+		{"A2", AblationOptimizer},
+		{"A3", AblationStreams},
+	}
+	out := make([]*Table, 0, len(exps))
+	for _, e := range exps {
+		t, err := e.run(seed)
+		if err != nil {
+			return out, fmt.Errorf("experiment %s: %w", e.id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ---- shared formatting helpers ----
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+}
+
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+}
+
+func dollars(v float64) string { return fmt.Sprintf("$%.5f", v) }
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,175 @@
+// Package kvstore implements a sharded in-memory key-value store with
+// optional TTL expiry and compare-and-swap.
+//
+// In the blueprint architecture it plays the role of the enterprise's
+// key-value stores (§V-D) and is used for session state and cached agent
+// outputs. Time is injected so expiry is deterministic under test.
+package kvstore
+
+import (
+	"errors"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrCASMismatch is returned by CompareAndSwap when the current value does
+// not match the expected one.
+var ErrCASMismatch = errors.New("kvstore: compare-and-swap mismatch")
+
+const numShards = 16
+
+type entry struct {
+	value    any
+	expireAt time.Time // zero = never
+	version  int64
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	data map[string]entry
+}
+
+// Store is a sharded KV store.
+type Store struct {
+	shards [numShards]*shard
+	now    func() time.Time
+}
+
+// NewStore creates a store using the wall clock.
+func NewStore() *Store {
+	return NewStoreWithClock(time.Now)
+}
+
+// NewStoreWithClock creates a store with an injected clock (tests).
+func NewStoreWithClock(now func() time.Time) *Store {
+	s := &Store{now: now}
+	for i := range s.shards {
+		s.shards[i] = &shard{data: make(map[string]entry)}
+	}
+	return s
+}
+
+func (s *Store) shard(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return s.shards[h.Sum32()%numShards]
+}
+
+// Set stores value under key with no expiry.
+func (s *Store) Set(key string, value any) {
+	s.SetTTL(key, value, 0)
+}
+
+// SetTTL stores value under key, expiring after ttl (0 = never).
+func (s *Store) SetTTL(key string, value any, ttl time.Duration) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.data[key]
+	e.value = value
+	e.version++
+	if ttl > 0 {
+		e.expireAt = s.now().Add(ttl)
+	} else {
+		e.expireAt = time.Time{}
+	}
+	sh.data[key] = e
+}
+
+// Get returns the value under key and whether it exists (and is unexpired).
+func (s *Store) Get(key string) (any, bool) {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	e, ok := sh.data[key]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	if !e.expireAt.IsZero() && !s.now().Before(e.expireAt) {
+		sh.mu.Lock()
+		// Re-check under write lock before reaping.
+		if cur, ok2 := sh.data[key]; ok2 && !cur.expireAt.IsZero() && !s.now().Before(cur.expireAt) {
+			delete(sh.data, key)
+		}
+		sh.mu.Unlock()
+		return nil, false
+	}
+	return e.value, true
+}
+
+// GetString returns a string value, or "" if absent or not a string.
+func (s *Store) GetString(key string) string {
+	v, ok := s.Get(key)
+	if !ok {
+		return ""
+	}
+	str, _ := v.(string)
+	return str
+}
+
+// Delete removes key; deleting an absent key is a no-op.
+func (s *Store) Delete(key string) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	delete(sh.data, key)
+	sh.mu.Unlock()
+}
+
+// CompareAndSwap sets key to next only if the current value equals expected
+// (comparing with ==; values must be comparable). A missing key matches
+// expected == nil.
+func (s *Store) CompareAndSwap(key string, expected, next any) error {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.data[key]
+	cur := any(nil)
+	if ok && (e.expireAt.IsZero() || s.now().Before(e.expireAt)) {
+		cur = e.value
+	}
+	if cur != expected {
+		return ErrCASMismatch
+	}
+	e.value = next
+	e.version++
+	e.expireAt = time.Time{}
+	sh.data[key] = e
+	return nil
+}
+
+// Keys returns all live keys with the given prefix, sorted.
+func (s *Store) Keys(prefix string) []string {
+	var out []string
+	now := s.now()
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k, e := range sh.data {
+			if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+				if e.expireAt.IsZero() || now.Before(e.expireAt) {
+					out = append(out, k)
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the number of live keys.
+func (s *Store) Len() int {
+	n := 0
+	now := s.now()
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, e := range sh.data {
+			if e.expireAt.IsZero() || now.Before(e.expireAt) {
+				n++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}

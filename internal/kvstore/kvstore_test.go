@@ -1,0 +1,154 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSetGetDelete(t *testing.T) {
+	s := NewStore()
+	s.Set("a", 1)
+	v, ok := s.Get("a")
+	if !ok || v != 1 {
+		t.Fatalf("get = %v %v", v, ok)
+	}
+	s.Delete("a")
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("deleted key still present")
+	}
+	s.Delete("a") // no-op
+}
+
+func TestGetString(t *testing.T) {
+	s := NewStore()
+	s.Set("s", "hello")
+	s.Set("n", 42)
+	if s.GetString("s") != "hello" {
+		t.Fatal("string get")
+	}
+	if s.GetString("n") != "" || s.GetString("missing") != "" {
+		t.Fatal("non-string / missing should be empty")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := NewStoreWithClock(func() time.Time { return now })
+	s.SetTTL("x", "v", 10*time.Second)
+	if _, ok := s.Get("x"); !ok {
+		t.Fatal("fresh key missing")
+	}
+	now = now.Add(9 * time.Second)
+	if _, ok := s.Get("x"); !ok {
+		t.Fatal("key expired early")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := s.Get("x"); ok {
+		t.Fatal("key not expired")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestSetClearsTTL(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := NewStoreWithClock(func() time.Time { return now })
+	s.SetTTL("x", "v", time.Second)
+	s.Set("x", "v2") // plain Set removes expiry
+	now = now.Add(time.Hour)
+	if v, ok := s.Get("x"); !ok || v != "v2" {
+		t.Fatalf("get = %v %v", v, ok)
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	s := NewStore()
+	if err := s.CompareAndSwap("k", nil, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CompareAndSwap("k", "v1", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CompareAndSwap("k", "stale", "v3"); !errors.Is(err, ErrCASMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+	if v, _ := s.Get("k"); v != "v2" {
+		t.Fatalf("value = %v", v)
+	}
+}
+
+func TestCASOnlyOneWinner(t *testing.T) {
+	s := NewStore()
+	s.Set("counter", 0)
+	var wg sync.WaitGroup
+	wins := make(chan int, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.CompareAndSwap("counter", 0, i+1); err == nil {
+				wins <- i
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(wins)
+	n := 0
+	for range wins {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("CAS winners = %d, want 1", n)
+	}
+}
+
+func TestKeysPrefix(t *testing.T) {
+	s := NewStore()
+	s.Set("session:1:a", 1)
+	s.Set("session:1:b", 2)
+	s.Set("session:2:a", 3)
+	s.Set("other", 4)
+	keys := s.Keys("session:1:")
+	if len(keys) != 2 || keys[0] != "session:1:a" || keys[1] != "session:1:b" {
+		t.Fatalf("keys = %v", keys)
+	}
+	if len(s.Keys("")) != 4 {
+		t.Fatalf("all keys = %v", s.Keys(""))
+	}
+}
+
+func TestKeysSkipExpired(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := NewStoreWithClock(func() time.Time { return now })
+	s.SetTTL("a", 1, time.Second)
+	s.Set("b", 2)
+	now = now.Add(2 * time.Second)
+	keys := s.Keys("")
+	if len(keys) != 1 || keys[0] != "b" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestConcurrentSharding(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (w*200+i)%100)
+				s.Set(k, i)
+				s.Get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 100 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}

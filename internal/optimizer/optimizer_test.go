@@ -1,0 +1,241 @@
+package optimizer
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"blueprint/internal/budget"
+	"blueprint/internal/dataplan"
+	"blueprint/internal/llm"
+	"blueprint/internal/planner"
+	"blueprint/internal/registry"
+)
+
+func tiers() []Candidate {
+	return []Candidate{
+		{ID: "small", Cost: 0.001, Latency: 20 * time.Millisecond, Accuracy: 0.75},
+		{ID: "medium", Cost: 0.006, Latency: 60 * time.Millisecond, Accuracy: 0.90},
+		{ID: "large", Cost: 0.030, Latency: 160 * time.Millisecond, Accuracy: 0.98},
+	}
+}
+
+func TestChooseCheapest(t *testing.T) {
+	c, err := Choose(tiers(), CheapestObjectives(), budget.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != "small" {
+		t.Fatalf("cheapest = %s", c.ID)
+	}
+}
+
+func TestChooseMostAccurate(t *testing.T) {
+	c, err := Choose(tiers(), BestObjectives(), budget.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != "large" {
+		t.Fatalf("best = %s", c.ID)
+	}
+}
+
+func TestChooseBalancedUnderConstraints(t *testing.T) {
+	// Accuracy floor forces out small; cost cap forces out large.
+	c, err := Choose(tiers(), DefaultObjectives(), budget.Limits{MinAccuracy: 0.85, MaxCost: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != "medium" {
+		t.Fatalf("constrained = %s", c.ID)
+	}
+}
+
+func TestChooseLatencyCap(t *testing.T) {
+	c, err := Choose(tiers(), BestObjectives(), budget.Limits{MaxLatency: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != "medium" {
+		t.Fatalf("latency-capped best = %s", c.ID)
+	}
+}
+
+func TestChooseInfeasible(t *testing.T) {
+	_, err := Choose(tiers(), DefaultObjectives(), budget.Limits{MaxCost: 0.0001})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = Choose(nil, DefaultObjectives(), budget.Limits{})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("empty err = %v", err)
+	}
+}
+
+func TestScoresNormalization(t *testing.T) {
+	s := Scores(tiers(), DefaultObjectives())
+	if len(s) != 3 {
+		t.Fatalf("scores = %v", s)
+	}
+	// Identical candidates score identically (no division by zero).
+	same := []Candidate{{ID: "a", Cost: 1, Latency: time.Second, Accuracy: 0.5}, {ID: "b", Cost: 1, Latency: time.Second, Accuracy: 0.5}}
+	ss := Scores(same, DefaultObjectives())
+	if ss[0] != ss[1] {
+		t.Fatalf("identical candidates diverge: %v", ss)
+	}
+	if Scores(nil, DefaultObjectives()) != nil {
+		t.Fatal("nil scores")
+	}
+}
+
+func TestPareto(t *testing.T) {
+	cands := append(tiers(), Candidate{ID: "dominated", Cost: 0.031, Latency: 200 * time.Millisecond, Accuracy: 0.90})
+	front := Pareto(cands)
+	if len(front) != 3 {
+		t.Fatalf("frontier = %+v", front)
+	}
+	for _, c := range front {
+		if c.ID == "dominated" {
+			t.Fatal("dominated candidate on frontier")
+		}
+	}
+	// Sorted by cost.
+	for i := 1; i < len(front); i++ {
+		if front[i-1].Cost > front[i].Cost {
+			t.Fatal("frontier not sorted")
+		}
+	}
+}
+
+func TestChooseModelTier(t *testing.T) {
+	configs := llm.Presets(1)
+	cfg, err := ChooseModelTier(configs, 500, BestObjectives(), budget.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Tier != llm.TierLarge {
+		t.Fatalf("best tier = %s", cfg.Tier)
+	}
+	cfg, err = ChooseModelTier(configs, 500, CheapestObjectives(), budget.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Tier != llm.TierSmall {
+		t.Fatalf("cheapest tier = %s", cfg.Tier)
+	}
+	// Accuracy floor with tight cost: medium wins.
+	cfg, err = ChooseModelTier(configs, 1000, DefaultObjectives(), budget.Limits{MinAccuracy: 0.85, MaxCost: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Tier != llm.TierMedium {
+		t.Fatalf("constrained tier = %s", cfg.Tier)
+	}
+	// Zero tokens defaults sanely.
+	if _, err := ChooseModelTier(configs, 0, DefaultObjectives(), budget.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChooseDataPlan(t *testing.T) {
+	direct := &dataplan.Plan{Strategy: "direct", Est: dataplan.Estimate{Cost: 0.0001, Latency: time.Millisecond, Accuracy: 0.5}}
+	decomposed := &dataplan.Plan{Strategy: "decomposed", Est: dataplan.Estimate{Cost: 0.02, Latency: 100 * time.Millisecond, Accuracy: 0.95}}
+	p, err := ChooseDataPlan([]*dataplan.Plan{direct, decomposed}, BestObjectives(), budget.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Strategy != "decomposed" {
+		t.Fatalf("best plan = %s", p.Strategy)
+	}
+	p, err = ChooseDataPlan([]*dataplan.Plan{direct, decomposed}, CheapestObjectives(), budget.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Strategy != "direct" {
+		t.Fatalf("cheapest plan = %s", p.Strategy)
+	}
+	// Accuracy floor forces decomposed even when minimizing cost.
+	p, err = ChooseDataPlan([]*dataplan.Plan{direct, decomposed}, CheapestObjectives(), budget.Limits{MinAccuracy: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Strategy != "decomposed" {
+		t.Fatalf("floored plan = %s", p.Strategy)
+	}
+}
+
+func optimizerRegistry(t testing.TB) *registry.AgentRegistry {
+	t.Helper()
+	r := registry.NewAgentRegistry()
+	specs := []registry.AgentSpec{
+		{
+			Name:        "MATCHER_PREMIUM",
+			Description: "match job seeker profiles with job listings using a large accurate model",
+			QoS:         registry.QoSProfile{CostPerCall: 0.05, Latency: 200 * time.Millisecond, Accuracy: 0.97},
+		},
+		{
+			Name:        "MATCHER_BUDGET",
+			Description: "match job seeker profiles with job listings using a small cheap model",
+			QoS:         registry.QoSProfile{CostPerCall: 0.002, Latency: 20 * time.Millisecond, Accuracy: 0.8},
+		},
+	}
+	for _, s := range specs {
+		if err := r.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestAssignAgents(t *testing.T) {
+	reg := optimizerRegistry(t)
+	p := &planner.Plan{
+		ID: "p", Utterance: "match me", Intent: "rank",
+		Steps: []planner.Step{{ID: "s1", Agent: "MATCHER_PREMIUM", Task: "match job seeker profiles with job listings"}},
+	}
+	changed, err := AssignAgents(p, reg, CheapestObjectives(), budget.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 1 || p.Steps[0].Agent != "MATCHER_BUDGET" {
+		t.Fatalf("assignment = %+v (changed=%d)", p.Steps[0], changed)
+	}
+	// Accuracy-first flips it back.
+	changed, err = AssignAgents(p, reg, BestObjectives(), budget.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 1 || p.Steps[0].Agent != "MATCHER_PREMIUM" {
+		t.Fatalf("assignment = %+v", p.Steps[0])
+	}
+	// No feasible candidate: keep original.
+	changed, err = AssignAgents(p, reg, DefaultObjectives(), budget.Limits{MaxCost: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 0 || p.Steps[0].Agent != "MATCHER_PREMIUM" {
+		t.Fatalf("infeasible must keep original: %+v", p.Steps[0])
+	}
+}
+
+func TestEstimatePlan(t *testing.T) {
+	reg := optimizerRegistry(t)
+	p := &planner.Plan{
+		Steps: []planner.Step{
+			{ID: "s1", Agent: "MATCHER_PREMIUM"},
+			{ID: "s2", Agent: "MATCHER_BUDGET"},
+			{ID: "s3", Agent: "UNKNOWN"},
+		},
+	}
+	cost, lat, acc := EstimatePlan(p, reg)
+	if cost < 0.052-1e-9 || cost > 0.052+1e-9 {
+		t.Fatalf("cost = %v", cost)
+	}
+	if lat != 220*time.Millisecond {
+		t.Fatalf("latency = %v", lat)
+	}
+	want := 0.97 * 0.8
+	if acc < want-1e-9 || acc > want+1e-9 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+}

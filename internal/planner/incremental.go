@@ -1,0 +1,130 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IncrementalPlan implements the paper's dynamic planning mode (§V-F: "the
+// plan can also be dynamic and incremental, meaning it evolves step by step
+// rather than being predetermined in its entirety"). Instead of fixing the
+// whole DAG up front, each step's agent is re-selected from the registry at
+// the moment the step is reached, so registry updates (new agents, usage-
+// boosted embeddings) between steps influence the plan. Feedback can veto an
+// agent for the remainder of the plan, modelling the paper's adaptive
+// planner learning from per-plan feedback.
+type IncrementalPlan struct {
+	tp        *TaskPlanner
+	utterance string
+	intent    string
+	subtasks  []SubTask
+	pos       int
+	steps     []Step
+	vetoed    map[string]bool
+}
+
+// PlanIncremental starts a dynamic plan for the utterance: the intent and
+// sub-task template are fixed, agent selection is deferred.
+func (tp *TaskPlanner) PlanIncremental(utterance string) (*IncrementalPlan, error) {
+	intent, _ := tp.model.Classify(utterance, intentLabels(tp))
+	subtasks, ok := tp.templates[intent]
+	if !ok || len(subtasks) == 0 {
+		subtasks = tp.templates["open_query"]
+		intent = "open_query"
+	}
+	if len(subtasks) == 0 {
+		return nil, fmt.Errorf("planner: no template for intent %q", intent)
+	}
+	return &IncrementalPlan{
+		tp:        tp,
+		utterance: utterance,
+		intent:    intent,
+		subtasks:  subtasks,
+		vetoed:    map[string]bool{},
+	}, nil
+}
+
+func intentLabels(tp *TaskPlanner) []string {
+	labels := make([]string, 0, len(tp.templates)+1)
+	for k := range tp.templates {
+		if k != "open_query" {
+			labels = append(labels, k)
+		}
+	}
+	// Deterministic order with the catch-all last.
+	sortStrings(labels)
+	return append(labels, "open_query")
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Intent returns the classified intent.
+func (ip *IncrementalPlan) Intent() string { return ip.intent }
+
+// Remaining reports how many steps have not been emitted yet.
+func (ip *IncrementalPlan) Remaining() int { return len(ip.subtasks) - ip.pos }
+
+// Done reports whether every step has been emitted.
+func (ip *IncrementalPlan) Done() bool { return ip.pos >= len(ip.subtasks) }
+
+// Veto excludes an agent from selection for the remaining steps (adaptive
+// feedback, e.g. after a failure or a user thumbs-down).
+func (ip *IncrementalPlan) Veto(agentName string) {
+	ip.vetoed[strings.ToLower(agentName)] = true
+}
+
+// Next selects the agent for the upcoming sub-task *now* and returns the
+// wired step. It returns false when the plan is complete.
+func (ip *IncrementalPlan) Next() (Step, bool, error) {
+	if ip.Done() {
+		return Step{}, false, nil
+	}
+	st := ip.subtasks[ip.pos]
+	hits := ip.tp.reg.FindForTask(st.Description, 5)
+	var chosen *Step
+	for _, h := range hits {
+		if ip.vetoed[strings.ToLower(h.Spec.Name)] {
+			continue
+		}
+		s := Step{
+			ID:       fmt.Sprintf("s%d", ip.pos+1),
+			Agent:    h.Spec.Name,
+			Task:     st.Description,
+			Score:    h.Score,
+			Bindings: map[string]Binding{},
+		}
+		partial := &Plan{Utterance: ip.utterance, Intent: ip.intent, Steps: ip.steps}
+		ip.tp.wire(&s, h.Spec, partial, st)
+		chosen = &s
+		break
+	}
+	if chosen == nil {
+		return Step{}, false, fmt.Errorf("planner: no non-vetoed agent for sub-task %q", st.Description)
+	}
+	ip.pos++
+	ip.steps = append(ip.steps, *chosen)
+	_ = ip.tp.reg.RecordUsage(chosen.Agent, st.Description)
+	return *chosen, true, nil
+}
+
+// Materialize returns the steps emitted so far as a static Plan (for the
+// coordinator or for presenting to the user mid-flight).
+func (ip *IncrementalPlan) Materialize() *Plan {
+	ip.tp.nextID++
+	return &Plan{
+		ID:        fmt.Sprintf("plan-inc-%d", ip.tp.nextID),
+		Utterance: ip.utterance,
+		Intent:    ip.intent,
+		Steps:     append([]Step(nil), ip.steps...),
+		Explanation: []string{
+			"incremental plan: agents selected step-by-step",
+			fmt.Sprintf("emitted %d/%d steps", ip.pos, len(ip.subtasks)),
+		},
+	}
+}

@@ -1,0 +1,118 @@
+package planner
+
+import (
+	"testing"
+
+	"blueprint/internal/registry"
+)
+
+func TestIncrementalPlanStepByStep(t *testing.T) {
+	tp := New(hrRegistry(t), perfectModel(), nil)
+	ip, err := tp.PlanIncremental("I am looking for a data scientist position in SF bay area.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Intent() != "job_search" || ip.Remaining() != 3 || ip.Done() {
+		t.Fatalf("plan = intent %s remaining %d", ip.Intent(), ip.Remaining())
+	}
+	want := []string{"PROFILER", "JOBMATCHER", "PRESENTER"}
+	for i, w := range want {
+		step, ok, err := ip.Next()
+		if err != nil || !ok {
+			t.Fatalf("step %d: %v ok=%v", i, err, ok)
+		}
+		if step.Agent != w {
+			t.Fatalf("step %d agent = %s, want %s", i, step.Agent, w)
+		}
+	}
+	if !ip.Done() {
+		t.Fatal("plan not done after all steps")
+	}
+	if _, ok, err := ip.Next(); ok || err != nil {
+		t.Fatalf("Next after done = ok=%v err=%v", ok, err)
+	}
+	p := ip.Materialize()
+	if len(p.Steps) != 3 || p.Steps[1].Bindings["JOBSEEKER_DATA"].FromStep != "s1" {
+		t.Fatalf("materialized = %s", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalPlanAdaptsToRegistryChanges(t *testing.T) {
+	reg := hrRegistry(t)
+	tp := New(reg, perfectModel(), nil)
+	ip, err := tp.PlanIncremental("I am looking for a data scientist position.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ip.Next(); err != nil { // s1: PROFILER
+		t.Fatal(err)
+	}
+	// A better matcher registers *between* steps: boost it with usage logs
+	// so it outranks JOBMATCHER for the matching sub-task.
+	if err := reg.Register(registryAgentSpecForMatcher()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := reg.RecordUsage("TURBO_MATCHER", "match the job seeker profile with available job listings assessing match quality"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step, ok, err := ip.Next()
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if step.Agent != "TURBO_MATCHER" {
+		t.Fatalf("incremental plan did not adapt: step agent = %s", step.Agent)
+	}
+}
+
+func TestIncrementalVeto(t *testing.T) {
+	tp := New(hrRegistry(t), perfectModel(), nil)
+	ip, err := tp.PlanIncremental("I am looking for a data scientist position.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ip.Next(); err != nil {
+		t.Fatal(err)
+	}
+	// Feedback: JOBMATCHER misbehaved; veto it before the matching step.
+	ip.Veto("JOBMATCHER")
+	step, ok, err := ip.Next()
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if step.Agent == "JOBMATCHER" {
+		t.Fatal("vetoed agent selected")
+	}
+	if step.Agent != "BACKUP_MATCHER" {
+		t.Fatalf("alternative = %s", step.Agent)
+	}
+}
+
+func TestIncrementalVetoAllFails(t *testing.T) {
+	tp := New(hrRegistry(t), perfectModel(), nil)
+	ip, err := tp.PlanIncremental("I am looking for a data scientist position.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"PROFILER", "JOBMATCHER", "BACKUP_MATCHER", "PRESENTER", "NL2Q", "SQLEXECUTOR", "QUERYSUMMARIZER"} {
+		ip.Veto(name)
+	}
+	if _, _, err := ip.Next(); err == nil {
+		t.Fatal("fully vetoed plan produced a step")
+	}
+}
+
+// registryAgentSpecForMatcher returns a matcher spec used by the adaptation
+// test.
+func registryAgentSpecForMatcher() registry.AgentSpec {
+	return registry.AgentSpec{
+		Name:        "TURBO_MATCHER",
+		Description: "match the job seeker profile with available job listings assessing match quality and ranking",
+		Inputs:      []registry.ParamSpec{{Name: "JOBSEEKER_DATA", Type: "profile"}},
+		Outputs:     []registry.ParamSpec{{Name: "MATCHES", Type: "rows"}},
+	}
+}

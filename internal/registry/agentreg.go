@@ -1,0 +1,351 @@
+// Package registry implements the blueprint's two metadata stores: the
+// agent registry (§V-C), which maps enterprise models and APIs to agents and
+// serves their metadata for search and planning, and the data registry
+// (§V-D), which catalogs multi-modal enterprise data sources down to table
+// and collection granularity together with schemas and index inventories.
+//
+// Both registries support keyword search and vector search over embeddings
+// derived from metadata; the agent registry additionally blends historical
+// usage logs into its embeddings ("historical usage data can also be
+// leveraged to compute enhanced embeddings", §V-C).
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"blueprint/internal/vectors"
+)
+
+// Common registry errors.
+var (
+	ErrAgentExists   = errors.New("registry: agent already registered")
+	ErrAgentNotFound = errors.New("registry: agent not found")
+	ErrAssetExists   = errors.New("registry: data asset already registered")
+	ErrAssetNotFound = errors.New("registry: data asset not found")
+)
+
+// ParamSpec describes one input or output parameter of an agent.
+type ParamSpec struct {
+	// Name is the parameter identifier (e.g. "JOBSEEKER_DATA").
+	Name string `json:"name"`
+	// Type is a logical type tag: "text", "json", "rows", "profile", ...
+	Type string `json:"type"`
+	// Description documents the parameter for search and planning.
+	Description string `json:"description,omitempty"`
+	// Optional parameters may be left unbound in plans.
+	Optional bool `json:"optional,omitempty"`
+	// Default is used when an optional parameter is unbound.
+	Default any `json:"default,omitempty"`
+}
+
+// ListenRule is the stream inclusion/exclusion rule under which an agent
+// self-triggers (§V-B: "monitoring designated tags within streams, defined
+// by inclusion and exclusion rules").
+type ListenRule struct {
+	IncludeTags []string `json:"include_tags,omitempty"`
+	ExcludeTags []string `json:"exclude_tags,omitempty"`
+}
+
+// Deployment captures containerization metadata (§V-C: docker images and
+// deployment configurations) consumed by the cluster simulator.
+type Deployment struct {
+	// Image is the container image name.
+	Image string `json:"image,omitempty"`
+	// Resource is the compute class required: "cpu" or "gpu".
+	Resource string `json:"resource,omitempty"`
+	// Replicas is the desired instance count.
+	Replicas int `json:"replicas,omitempty"`
+	// Workers is the per-instance worker pool size.
+	Workers int `json:"workers,omitempty"`
+}
+
+// QoSProfile summarizes an agent's expected quality of service, used by the
+// optimizer for multi-objective planning (§IV).
+type QoSProfile struct {
+	// CostPerCall in dollars.
+	CostPerCall float64 `json:"cost_per_call"`
+	// Latency is the expected per-call latency.
+	Latency time.Duration `json:"latency"`
+	// Accuracy in [0,1].
+	Accuracy float64 `json:"accuracy"`
+}
+
+// AgentSpec is the registry record for one agent.
+type AgentSpec struct {
+	// Name is the unique agent identifier (e.g. "JOBMATCHER").
+	Name string `json:"name"`
+	// Description documents the agent's capability.
+	Description string `json:"description"`
+	// Version distinguishes derived/updated agents.
+	Version int `json:"version"`
+	// Inputs and Outputs declare the agent's parameters.
+	Inputs  []ParamSpec `json:"inputs,omitempty"`
+	Outputs []ParamSpec `json:"outputs,omitempty"`
+	// Listen configures decentralized (tag-triggered) activation.
+	Listen ListenRule `json:"listen,omitempty"`
+	// Deployment carries containerization metadata.
+	Deployment Deployment `json:"deployment,omitempty"`
+	// QoS is the expected quality of service.
+	QoS QoSProfile `json:"qos,omitempty"`
+	// Properties holds free-form configuration (triggering policy etc.).
+	Properties map[string]any `json:"properties,omitempty"`
+}
+
+// searchText builds the text embedded/searched for this agent.
+func (s AgentSpec) searchText() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte(' ')
+	b.WriteString(s.Description)
+	for _, p := range s.Inputs {
+		fmt.Fprintf(&b, " input %s %s %s", p.Name, p.Type, p.Description)
+	}
+	for _, p := range s.Outputs {
+		fmt.Fprintf(&b, " output %s %s %s", p.Name, p.Type, p.Description)
+	}
+	return b.String()
+}
+
+// AgentHit is one agent search result.
+type AgentHit struct {
+	Spec  AgentSpec
+	Score float64
+}
+
+// AgentRegistry stores agent metadata and serves search and planning.
+type AgentRegistry struct {
+	mu       sync.RWMutex
+	specs    map[string]AgentSpec
+	order    []string
+	usage    map[string][]string // recent task texts routed to the agent
+	usageCnt map[string]int
+	embedder *vectors.Embedder
+	index    *vectors.Index
+}
+
+// NewAgentRegistry creates an empty agent registry.
+func NewAgentRegistry() *AgentRegistry {
+	e := vectors.NewEmbedder(vectors.DefaultDim)
+	return &AgentRegistry{
+		specs:    make(map[string]AgentSpec),
+		usage:    make(map[string][]string),
+		usageCnt: make(map[string]int),
+		embedder: e,
+		index:    vectors.NewIndex(e.Dim()),
+	}
+}
+
+// Register adds a new agent. The name must be unused.
+func (r *AgentRegistry) Register(spec AgentSpec) error {
+	if spec.Name == "" {
+		return errors.New("registry: agent name required")
+	}
+	key := strings.ToLower(spec.Name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.specs[key]; ok {
+		return fmt.Errorf("%w: %s", ErrAgentExists, spec.Name)
+	}
+	if spec.Version == 0 {
+		spec.Version = 1
+	}
+	r.specs[key] = spec
+	r.order = append(r.order, key)
+	return r.reindexLocked(key)
+}
+
+// Update replaces an existing agent's metadata, bumping its version.
+func (r *AgentRegistry) Update(spec AgentSpec) error {
+	key := strings.ToLower(spec.Name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, ok := r.specs[key]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrAgentNotFound, spec.Name)
+	}
+	spec.Version = old.Version + 1
+	r.specs[key] = spec
+	return r.reindexLocked(key)
+}
+
+// Derive registers a new agent based on an existing one with a new name and
+// description override ("derive new agents from existing ones", §V-C).
+func (r *AgentRegistry) Derive(base, name, description string, mutate func(*AgentSpec)) (AgentSpec, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.specs[strings.ToLower(base)]
+	if !ok {
+		return AgentSpec{}, fmt.Errorf("%w: %s", ErrAgentNotFound, base)
+	}
+	spec := b
+	spec.Name = name
+	if description != "" {
+		spec.Description = description
+	}
+	spec.Version = 1
+	if mutate != nil {
+		mutate(&spec)
+	}
+	key := strings.ToLower(name)
+	if _, exists := r.specs[key]; exists {
+		return AgentSpec{}, fmt.Errorf("%w: %s", ErrAgentExists, name)
+	}
+	r.specs[key] = spec
+	r.order = append(r.order, key)
+	if err := r.reindexLocked(key); err != nil {
+		return AgentSpec{}, err
+	}
+	return spec, nil
+}
+
+// Deregister removes an agent.
+func (r *AgentRegistry) Deregister(name string) error {
+	key := strings.ToLower(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.specs[key]; !ok {
+		return fmt.Errorf("%w: %s", ErrAgentNotFound, name)
+	}
+	delete(r.specs, key)
+	delete(r.usage, key)
+	delete(r.usageCnt, key)
+	for i, k := range r.order {
+		if k == key {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	r.index.Delete(key)
+	return nil
+}
+
+// Get returns one agent's spec.
+func (r *AgentRegistry) Get(name string) (AgentSpec, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.specs[strings.ToLower(name)]
+	if !ok {
+		return AgentSpec{}, fmt.Errorf("%w: %s", ErrAgentNotFound, name)
+	}
+	return s, nil
+}
+
+// List returns all specs in registration order.
+func (r *AgentRegistry) List() []AgentSpec {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]AgentSpec, 0, len(r.order))
+	for _, k := range r.order {
+		out = append(out, r.specs[k])
+	}
+	return out
+}
+
+// Len reports the number of registered agents.
+func (r *AgentRegistry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.specs)
+}
+
+// RecordUsage logs that the agent served the given task text; the last 32
+// texts are blended into the agent's embedding with 20% weight.
+func (r *AgentRegistry) RecordUsage(name, taskText string) error {
+	key := strings.ToLower(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.specs[key]; !ok {
+		return fmt.Errorf("%w: %s", ErrAgentNotFound, name)
+	}
+	logs := append(r.usage[key], taskText)
+	if len(logs) > 32 {
+		logs = logs[len(logs)-32:]
+	}
+	r.usage[key] = logs
+	r.usageCnt[key]++
+	return r.reindexLocked(key)
+}
+
+// UsageCount reports how many times RecordUsage was called for the agent.
+func (r *AgentRegistry) UsageCount(name string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.usageCnt[strings.ToLower(name)]
+}
+
+func (r *AgentRegistry) reindexLocked(key string) error {
+	spec := r.specs[key]
+	meta := spec.searchText()
+	logs := r.usage[key]
+	var vec []float64
+	if len(logs) == 0 {
+		vec = r.embedder.Embed(meta)
+	} else {
+		vec = r.embedder.EmbedWeighted(
+			[]string{meta, strings.Join(logs, " ")},
+			[]float64{0.8, 0.2},
+		)
+	}
+	return r.index.Upsert(key, vec)
+}
+
+// SearchKeyword returns agents whose metadata contains every query token,
+// ranked by number of token occurrences.
+func (r *AgentRegistry) SearchKeyword(query string, k int) []AgentHit {
+	toks := vectors.Tokenize(query)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var hits []AgentHit
+	for _, key := range r.order {
+		spec := r.specs[key]
+		text := strings.ToLower(spec.searchText())
+		score := 0.0
+		ok := true
+		for _, t := range toks {
+			n := strings.Count(text, t)
+			if n == 0 {
+				ok = false
+				break
+			}
+			score += float64(n)
+		}
+		if ok && len(toks) > 0 {
+			hits = append(hits, AgentHit{Spec: spec, Score: score})
+		}
+	}
+	sort.SliceStable(hits, func(i, j int) bool { return hits[i].Score > hits[j].Score })
+	if k > 0 && k < len(hits) {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// SearchVector returns the k agents nearest to the query embedding.
+func (r *AgentRegistry) SearchVector(query string, k int) []AgentHit {
+	vec := r.embedder.Embed(query)
+	raw := r.index.Search(vec, k)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]AgentHit, 0, len(raw))
+	for _, h := range raw {
+		if spec, ok := r.specs[h.ID]; ok {
+			out = append(out, AgentHit{Spec: spec, Score: h.Score})
+		}
+	}
+	return out
+}
+
+// FindForTask is the planner's entry point: vector search with a keyword
+// fallback, returning at most k candidates.
+func (r *AgentRegistry) FindForTask(taskText string, k int) []AgentHit {
+	hits := r.SearchVector(taskText, k)
+	if len(hits) > 0 {
+		return hits
+	}
+	return r.SearchKeyword(taskText, k)
+}

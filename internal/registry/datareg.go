@@ -1,0 +1,330 @@
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"blueprint/internal/docstore"
+	"blueprint/internal/graphstore"
+	"blueprint/internal/relational"
+	"blueprint/internal/vectors"
+)
+
+// SourceKind enumerates data modalities (§V-D: "documents, relational
+// databases, graph databases, and key-value stores"; LLMs also act as data
+// sources, §V-G).
+type SourceKind string
+
+// Data source kinds.
+const (
+	KindRelational SourceKind = "relational"
+	KindDocument   SourceKind = "document"
+	KindGraph      SourceKind = "graph"
+	KindKV         SourceKind = "kv"
+	KindLLM        SourceKind = "llm"
+)
+
+// Level situates an asset in the enterprise data hierarchy (§V-D:
+// "lakehouse, lake, source system, database, and table").
+type Level string
+
+// Asset levels.
+const (
+	LevelLakehouse  Level = "lakehouse"
+	LevelDatabase   Level = "database"
+	LevelTable      Level = "table"
+	LevelCollection Level = "collection"
+	LevelGraph      Level = "graph"
+	LevelModel      Level = "model"
+)
+
+// ColumnMeta describes one column/field of an asset.
+type ColumnMeta struct {
+	Name        string `json:"name"`
+	Type        string `json:"type"`
+	Description string `json:"description,omitempty"`
+}
+
+// DataAsset is a registry record at some hierarchy level.
+type DataAsset struct {
+	// Name uniquely identifies the asset ("hr.jobs").
+	Name string `json:"name"`
+	// Kind is the modality of the owning source.
+	Kind SourceKind `json:"kind"`
+	// Level situates the asset in the hierarchy.
+	Level Level `json:"level"`
+	// Parent names the containing asset (database for a table, etc.).
+	Parent string `json:"parent,omitempty"`
+	// Description documents the asset for discovery.
+	Description string `json:"description"`
+	// Connection is the logical connection string / handle name.
+	Connection string `json:"connection,omitempty"`
+	// Columns lists fields/columns for tables and collections.
+	Columns []ColumnMeta `json:"columns,omitempty"`
+	// Indexes lists available indexes ("available indices", §V-D).
+	Indexes []string `json:"indexes,omitempty"`
+	// Rows is the row/document/node count, for planner cost estimation.
+	Rows int `json:"rows,omitempty"`
+	// QoS is the expected per-query quality of service of the source.
+	QoS QoSProfile `json:"qos,omitempty"`
+	// Tags are free-form labels.
+	Tags []string `json:"tags,omitempty"`
+}
+
+func (a DataAsset) searchText() string {
+	var b strings.Builder
+	b.WriteString(a.Name)
+	b.WriteByte(' ')
+	b.WriteString(string(a.Kind))
+	b.WriteByte(' ')
+	b.WriteString(a.Description)
+	for _, c := range a.Columns {
+		fmt.Fprintf(&b, " %s %s %s", c.Name, c.Type, c.Description)
+	}
+	for _, t := range a.Tags {
+		b.WriteByte(' ')
+		b.WriteString(t)
+	}
+	return b.String()
+}
+
+// AssetHit is one discovery result.
+type AssetHit struct {
+	Asset DataAsset
+	Score float64
+}
+
+// DataRegistry catalogs enterprise data assets and serves discovery.
+type DataRegistry struct {
+	mu       sync.RWMutex
+	assets   map[string]DataAsset
+	order    []string
+	grants   map[string]map[string]bool // asset -> allowed agents (nil = public)
+	embedder *vectors.Embedder
+	index    *vectors.Index
+}
+
+// NewDataRegistry creates an empty data registry.
+func NewDataRegistry() *DataRegistry {
+	e := vectors.NewEmbedder(vectors.DefaultDim)
+	return &DataRegistry{
+		assets:   make(map[string]DataAsset),
+		embedder: e,
+		index:    vectors.NewIndex(e.Dim()),
+	}
+}
+
+// Register adds an asset.
+func (r *DataRegistry) Register(a DataAsset) error {
+	if a.Name == "" {
+		return fmt.Errorf("registry: asset name required")
+	}
+	key := strings.ToLower(a.Name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.assets[key]; ok {
+		return fmt.Errorf("%w: %s", ErrAssetExists, a.Name)
+	}
+	r.assets[key] = a
+	r.order = append(r.order, key)
+	return r.index.Upsert(key, r.embedder.Embed(a.searchText()))
+}
+
+// Update replaces an asset's metadata (e.g. refreshed row counts).
+func (r *DataRegistry) Update(a DataAsset) error {
+	key := strings.ToLower(a.Name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.assets[key]; !ok {
+		return fmt.Errorf("%w: %s", ErrAssetNotFound, a.Name)
+	}
+	r.assets[key] = a
+	return r.index.Upsert(key, r.embedder.Embed(a.searchText()))
+}
+
+// Get returns one asset.
+func (r *DataRegistry) Get(name string) (DataAsset, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	a, ok := r.assets[strings.ToLower(name)]
+	if !ok {
+		return DataAsset{}, fmt.Errorf("%w: %s", ErrAssetNotFound, name)
+	}
+	return a, nil
+}
+
+// List returns assets in registration order, optionally filtered by level
+// and kind (empty = any).
+func (r *DataRegistry) List(level Level, kind SourceKind) []DataAsset {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []DataAsset
+	for _, k := range r.order {
+		a := r.assets[k]
+		if level != "" && a.Level != level {
+			continue
+		}
+		if kind != "" && a.Kind != kind {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// Children returns assets whose Parent is the given asset, sorted by name.
+func (r *DataRegistry) Children(parent string) []DataAsset {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []DataAsset
+	for _, k := range r.order {
+		a := r.assets[k]
+		if strings.EqualFold(a.Parent, parent) {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len reports the number of registered assets.
+func (r *DataRegistry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.assets)
+}
+
+// SearchKeyword ranks assets containing every query token.
+func (r *DataRegistry) SearchKeyword(query string, k int) []AssetHit {
+	toks := vectors.Tokenize(query)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var hits []AssetHit
+	for _, key := range r.order {
+		a := r.assets[key]
+		text := strings.ToLower(a.searchText())
+		score := 0.0
+		ok := true
+		for _, t := range toks {
+			n := strings.Count(text, t)
+			if n == 0 {
+				ok = false
+				break
+			}
+			score += float64(n)
+		}
+		if ok && len(toks) > 0 {
+			hits = append(hits, AssetHit{Asset: a, Score: score})
+		}
+	}
+	sort.SliceStable(hits, func(i, j int) bool { return hits[i].Score > hits[j].Score })
+	if k > 0 && k < len(hits) {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// SearchVector returns the k assets nearest to the query embedding.
+func (r *DataRegistry) SearchVector(query string, k int) []AssetHit {
+	vec := r.embedder.Embed(query)
+	raw := r.index.Search(vec, k)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]AssetHit, 0, len(raw))
+	for _, h := range raw {
+		if a, ok := r.assets[h.ID]; ok {
+			out = append(out, AssetHit{Asset: a, Score: h.Score})
+		}
+	}
+	return out
+}
+
+// Discover is the data planner's entry point: vector search with keyword
+// fallback.
+func (r *DataRegistry) Discover(query string, k int) []AssetHit {
+	hits := r.SearchVector(query, k)
+	if len(hits) > 0 {
+		return hits
+	}
+	return r.SearchKeyword(query, k)
+}
+
+// ImportRelational registers a relational DB and each of its tables under
+// the given database asset name, capturing schemas, row counts and index
+// inventories from the engine catalog.
+func (r *DataRegistry) ImportRelational(dbName, description, connection string, db *relational.DB) error {
+	if err := r.Register(DataAsset{
+		Name: dbName, Kind: KindRelational, Level: LevelDatabase,
+		Description: description, Connection: connection,
+	}); err != nil {
+		return err
+	}
+	for _, t := range db.Tables() {
+		cols := make([]ColumnMeta, 0, len(t.Schema.Columns))
+		for _, c := range t.Schema.Columns {
+			cols = append(cols, ColumnMeta{Name: c.Name, Type: c.Type.String()})
+		}
+		var idx []string
+		for _, ix := range t.Indexes {
+			idx = append(idx, fmt.Sprintf("%s(%s,%s)", ix.Name, ix.Column, ix.Kind))
+		}
+		if err := r.Register(DataAsset{
+			Name: dbName + "." + t.Name, Kind: KindRelational, Level: LevelTable,
+			Parent: dbName, Description: "table " + t.Name + " in " + dbName,
+			Connection: connection, Columns: cols, Indexes: idx, Rows: t.Rows,
+			QoS: QoSProfile{Latency: 2 * time.Millisecond, Accuracy: 1.0},
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ImportDocstore registers a document store's collections.
+func (r *DataRegistry) ImportDocstore(storeName, description, connection string, s *docstore.Store) error {
+	if err := r.Register(DataAsset{
+		Name: storeName, Kind: KindDocument, Level: LevelDatabase,
+		Description: description, Connection: connection,
+	}); err != nil {
+		return err
+	}
+	for _, c := range s.Collections() {
+		cols := make([]ColumnMeta, 0, len(c.Fields))
+		for _, f := range c.Fields {
+			cols = append(cols, ColumnMeta{Name: f, Type: "json"})
+		}
+		if err := r.Register(DataAsset{
+			Name: storeName + "." + c.Name, Kind: KindDocument, Level: LevelCollection,
+			Parent: storeName, Description: "collection " + c.Name + " in " + storeName,
+			Connection: connection, Columns: cols, Indexes: c.Indexed, Rows: c.Docs,
+			QoS: QoSProfile{Latency: 3 * time.Millisecond, Accuracy: 1.0},
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ImportGraph registers a graph source.
+func (r *DataRegistry) ImportGraph(name, description, connection string, g *graphstore.Graph) error {
+	nodes, edges := g.Stats()
+	return r.Register(DataAsset{
+		Name: name, Kind: KindGraph, Level: LevelGraph,
+		Description: description, Connection: connection,
+		Rows: nodes, Tags: []string{fmt.Sprintf("edges:%d", edges)},
+		QoS: QoSProfile{Latency: 2 * time.Millisecond, Accuracy: 1.0},
+	})
+}
+
+// RegisterLLMSource registers a language model as a data source ("cities in
+// the SF bay area might be obtained from an OpenAI model", §V-G).
+func (r *DataRegistry) RegisterLLMSource(name, description string, qos QoSProfile) error {
+	return r.Register(DataAsset{
+		Name: name, Kind: KindLLM, Level: LevelModel,
+		Description: description, QoS: qos,
+		Tags: []string{"general-knowledge", "text"},
+	})
+}

@@ -1,0 +1,148 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+)
+
+func newGovernedReg(t testing.TB) *DataRegistry {
+	t.Helper()
+	r := NewDataRegistry()
+	assets := []DataAsset{
+		{Name: "hr", Kind: KindRelational, Level: LevelDatabase, Description: "HR database"},
+		{Name: "hr.jobs", Kind: KindRelational, Level: LevelTable, Parent: "hr", Description: "job postings table with titles and salaries"},
+		{Name: "hr.salaries", Kind: KindRelational, Level: LevelTable, Parent: "hr", Description: "confidential salary records table"},
+		{Name: "public.faq", Kind: KindDocument, Level: LevelCollection, Description: "public faq documents"},
+	}
+	for _, a := range assets {
+		if err := r.Register(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestUngovernedAssetsArePublic(t *testing.T) {
+	r := newGovernedReg(t)
+	if !r.Authorized("hr.jobs", "ANY_AGENT") {
+		t.Fatal("ungoverned asset not public")
+	}
+	if err := r.CheckAccess("public.faq", "X"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrantRestricts(t *testing.T) {
+	r := newGovernedReg(t)
+	if err := r.Grant("hr.salaries", "PAYROLL_AGENT"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Authorized("hr.salaries", "payroll_agent") { // case-insensitive
+		t.Fatal("granted agent denied")
+	}
+	if r.Authorized("hr.salaries", "JOBMATCHER") {
+		t.Fatal("ungranted agent allowed")
+	}
+	if err := r.CheckAccess("hr.salaries", "JOBMATCHER"); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("err = %v", err)
+	}
+	// Other assets unaffected.
+	if !r.Authorized("hr.jobs", "JOBMATCHER") {
+		t.Fatal("sibling asset affected by grant")
+	}
+}
+
+func TestGrantOnMissingAsset(t *testing.T) {
+	r := newGovernedReg(t)
+	if err := r.Grant("missing", "X"); !errors.Is(err, ErrAssetNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if r.Authorized("missing", "X") {
+		t.Fatal("missing asset authorized")
+	}
+}
+
+func TestHierarchicalGrants(t *testing.T) {
+	r := newGovernedReg(t)
+	// Governing the database covers its tables.
+	if err := r.Grant("hr", "HR_SUITE"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Authorized("hr.jobs", "HR_SUITE") {
+		t.Fatal("parent grant did not cover child")
+	}
+	if r.Authorized("hr.jobs", "OUTSIDER") {
+		t.Fatal("outsider allowed via governed parent")
+	}
+	// A child-level grant overrides the parent's for that child.
+	if err := r.Grant("hr.jobs", "MATCHER_ONLY"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Authorized("hr.jobs", "MATCHER_ONLY") {
+		t.Fatal("child grant denied")
+	}
+	if r.Authorized("hr.jobs", "HR_SUITE") {
+		t.Fatal("child governance should override parent grant")
+	}
+}
+
+func TestRevokeAndClear(t *testing.T) {
+	r := newGovernedReg(t)
+	if err := r.Grant("hr.salaries", "A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	r.Revoke("hr.salaries", "A")
+	if r.Authorized("hr.salaries", "A") {
+		t.Fatal("revoked agent allowed")
+	}
+	if !r.Authorized("hr.salaries", "B") {
+		t.Fatal("remaining grant lost")
+	}
+	// Revoking the last grant leaves the asset locked down.
+	r.Revoke("hr.salaries", "B")
+	if r.Authorized("hr.salaries", "B") || r.Authorized("hr.salaries", "anyone") {
+		t.Fatal("empty grant set should deny everyone")
+	}
+	r.ClearGrants("hr.salaries")
+	if !r.Authorized("hr.salaries", "anyone") {
+		t.Fatal("cleared asset not public")
+	}
+	// Revoke on ungoverned asset is a no-op.
+	r.Revoke("public.faq", "X")
+	if !r.Authorized("public.faq", "X") {
+		t.Fatal("no-op revoke changed state")
+	}
+}
+
+func TestDiscoverForFiltersRestricted(t *testing.T) {
+	r := newGovernedReg(t)
+	if err := r.Grant("hr.salaries", "PAYROLL_AGENT"); err != nil {
+		t.Fatal(err)
+	}
+	// The restricted table would otherwise rank for this query.
+	open := r.Discover("salary records table", 4)
+	foundRestricted := false
+	for _, h := range open {
+		if h.Asset.Name == "hr.salaries" {
+			foundRestricted = true
+		}
+	}
+	if !foundRestricted {
+		t.Fatalf("fixture broken: hr.salaries not discoverable at all: %+v", open)
+	}
+	for _, h := range r.DiscoverFor("JOBMATCHER", "salary records table", 4) {
+		if h.Asset.Name == "hr.salaries" {
+			t.Fatal("restricted asset leaked to unauthorized agent")
+		}
+	}
+	// The granted agent still sees it.
+	found := false
+	for _, h := range r.DiscoverFor("PAYROLL_AGENT", "salary records table", 4) {
+		if h.Asset.Name == "hr.salaries" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("granted agent lost access via DiscoverFor")
+	}
+}

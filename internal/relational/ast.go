@@ -1,0 +1,260 @@
+package relational
+
+import "strings"
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Joins    []JoinClause
+	Where    Expr
+	GroupBy  []ColumnRef
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 = none
+	Offset   int
+	Explain  bool
+}
+
+// InsertStmt is INSERT INTO t [(cols)] VALUES (...), (...).
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+}
+
+// CreateTableStmt is CREATE TABLE t (col TYPE, ...).
+type CreateTableStmt struct {
+	Table   string
+	Columns []Column
+}
+
+// CreateIndexStmt is CREATE [ORDERED] INDEX name ON t (col).
+type CreateIndexStmt struct {
+	Name    string
+	Table   string
+	Column  string
+	Ordered bool
+}
+
+// DropTableStmt is DROP TABLE t.
+type DropTableStmt struct{ Table string }
+
+// UpdateStmt is UPDATE t SET col = expr, ... [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// DeleteStmt is DELETE FROM t [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*SelectStmt) stmt()      {}
+func (*InsertStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+func (*CreateIndexStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the effective name (alias if present).
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// JoinClause is INNER/LEFT JOIN t ON a = b (equijoin only).
+type JoinClause struct {
+	Left  bool // LEFT OUTER join if true, else inner
+	Table TableRef
+	LCol  ColumnRef
+	RCol  ColumnRef
+}
+
+// SelectItem is one projection: expression (possibly aggregate) with alias,
+// or the star.
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is any scalar or aggregate expression.
+type Expr interface{ expr() }
+
+// Literal is a constant value.
+type Literal struct{ Val Value }
+
+// Param is a positional ? parameter (1-based ordinal assigned by parser).
+type Param struct{ Ordinal int }
+
+// ColumnRef references table.column or column.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// String renders the reference.
+func (c ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// BinaryExpr applies Op to L and R. Ops: = != < <= > >= AND OR LIKE.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr applies NOT.
+type UnaryExpr struct {
+	Op string // "NOT"
+	E  Expr
+}
+
+// InExpr is "E IN (list)" or "E NOT IN (list)".
+type InExpr struct {
+	E    Expr
+	List []Expr
+	Not  bool
+}
+
+// BetweenExpr is "E BETWEEN lo AND hi".
+type BetweenExpr struct {
+	E      Expr
+	Lo, Hi Expr
+	Not    bool
+}
+
+// IsNullExpr is "E IS [NOT] NULL".
+type IsNullExpr struct {
+	E   Expr
+	Not bool
+}
+
+// AggExpr is an aggregate call: COUNT(*), COUNT(col), SUM/AVG/MIN/MAX(col).
+type AggExpr struct {
+	Fn       string // upper case
+	Star     bool
+	Arg      Expr
+	Distinct bool
+}
+
+func (*Literal) expr()     {}
+func (*Param) expr()       {}
+func (*ColumnRef) expr()   {}
+func (*BinaryExpr) expr()  {}
+func (*UnaryExpr) expr()   {}
+func (*InExpr) expr()      {}
+func (*BetweenExpr) expr() {}
+func (*IsNullExpr) expr()  {}
+func (*AggExpr) expr()     {}
+
+// exprString renders an expression for EXPLAIN output and error messages.
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return ""
+	case *Literal:
+		if x.Val.T == TString {
+			return "'" + x.Val.S + "'"
+		}
+		return x.Val.String()
+	case *Param:
+		return "?"
+	case *ColumnRef:
+		return x.String()
+	case *BinaryExpr:
+		return "(" + exprString(x.L) + " " + x.Op + " " + exprString(x.R) + ")"
+	case *UnaryExpr:
+		return "(NOT " + exprString(x.E) + ")"
+	case *InExpr:
+		parts := make([]string, len(x.List))
+		for i, it := range x.List {
+			parts[i] = exprString(it)
+		}
+		op := " IN ("
+		if x.Not {
+			op = " NOT IN ("
+		}
+		return exprString(x.E) + op + strings.Join(parts, ", ") + ")"
+	case *BetweenExpr:
+		op := " BETWEEN "
+		if x.Not {
+			op = " NOT BETWEEN "
+		}
+		return exprString(x.E) + op + exprString(x.Lo) + " AND " + exprString(x.Hi)
+	case *IsNullExpr:
+		if x.Not {
+			return exprString(x.E) + " IS NOT NULL"
+		}
+		return exprString(x.E) + " IS NULL"
+	case *AggExpr:
+		if x.Star {
+			return x.Fn + "(*)"
+		}
+		d := ""
+		if x.Distinct {
+			d = "DISTINCT "
+		}
+		return x.Fn + "(" + d + exprString(x.Arg) + ")"
+	default:
+		return "?expr?"
+	}
+}
+
+// hasAggregate reports whether the expression tree contains an aggregate.
+func hasAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *AggExpr:
+		return true
+	case *BinaryExpr:
+		return hasAggregate(x.L) || hasAggregate(x.R)
+	case *UnaryExpr:
+		return hasAggregate(x.E)
+	case *InExpr:
+		if hasAggregate(x.E) {
+			return true
+		}
+		for _, it := range x.List {
+			if hasAggregate(it) {
+				return true
+			}
+		}
+	case *BetweenExpr:
+		return hasAggregate(x.E) || hasAggregate(x.Lo) || hasAggregate(x.Hi)
+	case *IsNullExpr:
+		return hasAggregate(x.E)
+	}
+	return false
+}

@@ -1,0 +1,112 @@
+package relational
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchDB(b *testing.B, rows int, withIndex bool) *DB {
+	b.Helper()
+	db := NewDB()
+	if _, err := db.Exec(`CREATE TABLE jobs (id INT, title TEXT, city TEXT, salary INT)`); err != nil {
+		b.Fatal(err)
+	}
+	if withIndex {
+		if _, err := db.Exec(`CREATE INDEX ic ON jobs (city)`); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Exec(`CREATE ORDERED INDEX isal ON jobs (salary)`); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cities := []string{"San Francisco", "Oakland", "Seattle", "New York", "Austin"}
+	titles := []string{"Data Scientist", "ML Engineer", "Analyst"}
+	for i := 0; i < rows; i++ {
+		if _, err := db.Exec(`INSERT INTO jobs VALUES (?, ?, ?, ?)`,
+			i, titles[i%len(titles)], cities[i%len(cities)], 90000+(i%160)*1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+func BenchmarkInsert(b *testing.B) {
+	db := NewDB()
+	if _, err := db.Exec(`CREATE TABLE t (a INT, s TEXT)`); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(`INSERT INTO t VALUES (?, ?)`, i, "payload"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPointQuerySeqScan(b *testing.B) {
+	db := benchDB(b, 5000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT id FROM jobs WHERE city = 'Oakland' LIMIT 5`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPointQueryHashIndex(b *testing.B) {
+	db := benchDB(b, 5000, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT id FROM jobs WHERE city = 'Oakland' LIMIT 5`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeQueryOrderedIndex(b *testing.B) {
+	db := benchDB(b, 5000, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT id FROM jobs WHERE salary BETWEEN 200000 AND 210000`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupByAggregate(b *testing.B) {
+	db := benchDB(b, 5000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT city, AVG(salary) FROM jobs GROUP BY city`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	db := benchDB(b, 2000, false)
+	if _, err := db.Exec(`CREATE TABLE companies (id INT, name TEXT)`); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := db.Exec(`INSERT INTO companies VALUES (?, ?)`, i, fmt.Sprintf("co%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(`SELECT j.title, c.name FROM jobs j JOIN companies c ON j.id = c.id`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseSelect(b *testing.B) {
+	const q = `SELECT city, COUNT(*) AS n, AVG(salary) FROM jobs WHERE salary > 100000 AND title LIKE '%data%' GROUP BY city ORDER BY n DESC LIMIT 10`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

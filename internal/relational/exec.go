@@ -1,0 +1,547 @@
+package relational
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of a query.
+type Result struct {
+	// Columns are the output column names.
+	Columns []string
+	// Rows are the result tuples.
+	Rows []Row
+	// Plan describes the chosen access path (always populated for SELECT;
+	// EXPLAIN returns only this).
+	Plan string
+}
+
+// String renders the result as an aligned text table (a simple renderer in
+// the spirit of §V-B).
+func (r *Result) String() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Maps converts the result into a slice of column->value maps, convenient
+// for JSON payloads in streams.
+func (r *Result) Maps() []map[string]any {
+	out := make([]map[string]any, len(r.Rows))
+	for i, row := range r.Rows {
+		m := make(map[string]any, len(r.Columns))
+		for j, c := range r.Columns {
+			if j < len(row) {
+				m[c] = row[j].Go()
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// Query parses and executes sql with optional positional parameters bound to
+// '?' placeholders.
+func (db *DB) Query(sql string, params ...any) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.Run(st, params...)
+}
+
+// Exec runs a statement that does not produce rows (INSERT, UPDATE, DELETE,
+// CREATE, DROP) and reports the number of affected rows.
+func (db *DB) Exec(sql string, params ...any) (int, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	res, err := db.Run(st, params...)
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Columns) == 1 && res.Columns[0] == "affected" && len(res.Rows) == 1 {
+		return int(res.Rows[0][0].I), nil
+	}
+	return len(res.Rows), nil
+}
+
+// Run executes a parsed statement.
+func (db *DB) Run(st Statement, params ...any) (*Result, error) {
+	vals := make([]Value, len(params))
+	for i, p := range params {
+		vals[i] = FromGo(p)
+	}
+	switch s := st.(type) {
+	case *SelectStmt:
+		return db.execSelect(s, vals)
+	case *InsertStmt:
+		return db.execInsert(s, vals)
+	case *CreateTableStmt:
+		if err := db.CreateTable(s.Table, Schema{Columns: s.Columns}); err != nil {
+			return nil, err
+		}
+		return affected(0), nil
+	case *CreateIndexStmt:
+		kind := HashIndex
+		if s.Ordered {
+			kind = OrderedIndex
+		}
+		if err := db.CreateIndex(s.Name, s.Table, s.Column, kind); err != nil {
+			return nil, err
+		}
+		return affected(0), nil
+	case *DropTableStmt:
+		if err := db.DropTable(s.Table); err != nil {
+			return nil, err
+		}
+		return affected(0), nil
+	case *UpdateStmt:
+		return db.execUpdate(s, vals)
+	case *DeleteStmt:
+		return db.execDelete(s, vals)
+	default:
+		return nil, errors.New("relational: unsupported statement")
+	}
+}
+
+func affected(n int) *Result {
+	return &Result{Columns: []string{"affected"}, Rows: []Row{{NewInt(int64(n))}}}
+}
+
+// env carries the column environment of the current row during evaluation.
+type env struct {
+	cols []envCol
+	row  Row
+}
+
+type envCol struct {
+	table string // effective table name (alias), lowercased
+	name  string // column name, lowercased
+}
+
+func (e *env) resolve(c *ColumnRef) (int, error) {
+	tbl := strings.ToLower(c.Table)
+	col := strings.ToLower(c.Column)
+	found := -1
+	for i, ec := range e.cols {
+		if ec.name != col {
+			continue
+		}
+		if tbl != "" && ec.table != tbl {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("relational: ambiguous column %q", c.String())
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("%w: %s", ErrColumnUnknown, c.String())
+	}
+	return found, nil
+}
+
+// eval evaluates a scalar expression in the environment.
+func eval(e *env, x Expr, params []Value) (Value, error) {
+	switch v := x.(type) {
+	case *Literal:
+		return v.Val, nil
+	case *Param:
+		if v.Ordinal-1 >= len(params) {
+			return Null, fmt.Errorf("relational: missing parameter %d", v.Ordinal)
+		}
+		return params[v.Ordinal-1], nil
+	case *ColumnRef:
+		i, err := e.resolve(v)
+		if err != nil {
+			return Null, err
+		}
+		return e.row[i], nil
+	case *BinaryExpr:
+		return evalBinary(e, v, params)
+	case *UnaryExpr:
+		val, err := eval(e, v.E, params)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(!truthy(val)), nil
+	case *InExpr:
+		val, err := eval(e, v.E, params)
+		if err != nil {
+			return Null, err
+		}
+		hit := false
+		for _, item := range v.List {
+			iv, err := eval(e, item, params)
+			if err != nil {
+				return Null, err
+			}
+			if Equal(val, iv) {
+				hit = true
+				break
+			}
+		}
+		return NewBool(hit != v.Not), nil
+	case *BetweenExpr:
+		val, err := eval(e, v.E, params)
+		if err != nil {
+			return Null, err
+		}
+		lo, err := eval(e, v.Lo, params)
+		if err != nil {
+			return Null, err
+		}
+		hi, err := eval(e, v.Hi, params)
+		if err != nil {
+			return Null, err
+		}
+		in := !val.IsNull() && !lo.IsNull() && !hi.IsNull() &&
+			Compare(val, lo) >= 0 && Compare(val, hi) <= 0
+		return NewBool(in != v.Not), nil
+	case *IsNullExpr:
+		val, err := eval(e, v.E, params)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(val.IsNull() != v.Not), nil
+	case *AggExpr:
+		return Null, errors.New("relational: aggregate outside aggregation context")
+	default:
+		return Null, errors.New("relational: unsupported expression")
+	}
+}
+
+func evalBinary(e *env, v *BinaryExpr, params []Value) (Value, error) {
+	switch v.Op {
+	case "AND":
+		l, err := eval(e, v.L, params)
+		if err != nil {
+			return Null, err
+		}
+		if !truthy(l) {
+			return NewBool(false), nil
+		}
+		r, err := eval(e, v.R, params)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(truthy(r)), nil
+	case "OR":
+		l, err := eval(e, v.L, params)
+		if err != nil {
+			return Null, err
+		}
+		if truthy(l) {
+			return NewBool(true), nil
+		}
+		r, err := eval(e, v.R, params)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(truthy(r)), nil
+	}
+	l, err := eval(e, v.L, params)
+	if err != nil {
+		return Null, err
+	}
+	r, err := eval(e, v.R, params)
+	if err != nil {
+		return Null, err
+	}
+	switch v.Op {
+	case "=":
+		return NewBool(Equal(l, r)), nil
+	case "!=":
+		if l.IsNull() || r.IsNull() {
+			return NewBool(false), nil
+		}
+		return NewBool(Compare(l, r) != 0), nil
+	case "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return NewBool(false), nil
+		}
+		c := Compare(l, r)
+		switch v.Op {
+		case "<":
+			return NewBool(c < 0), nil
+		case "<=":
+			return NewBool(c <= 0), nil
+		case ">":
+			return NewBool(c > 0), nil
+		default:
+			return NewBool(c >= 0), nil
+		}
+	case "LIKE":
+		if l.IsNull() || r.IsNull() {
+			return NewBool(false), nil
+		}
+		return NewBool(likeMatch(l.String(), r.String())), nil
+	default:
+		return Null, fmt.Errorf("relational: unknown operator %q", v.Op)
+	}
+}
+
+// truthy converts a value to a boolean condition result.
+func truthy(v Value) bool {
+	switch v.T {
+	case TBool:
+		return v.B
+	case TInt:
+		return v.I != 0
+	case TFloat:
+		return v.F != 0
+	case TString:
+		return v.S != ""
+	default:
+		return false
+	}
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (single rune),
+// case-insensitively. Case-insensitivity is a deliberate dialect choice:
+// queries compiled from natural language should match regardless of casing.
+func likeMatch(s, pattern string) bool {
+	return likeRec(strings.ToLower(s), strings.ToLower(pattern))
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || s[0] != p[0] {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+// snapshot returns live rows and their ids under the table read lock.
+func (t *table) snapshot() ([]int, []Row) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ids := make([]int, 0, t.liveCnt)
+	rows := make([]Row, 0, t.liveCnt)
+	for id, r := range t.rows {
+		if t.live[id] {
+			ids = append(ids, id)
+			rows = append(rows, r)
+		}
+	}
+	return ids, rows
+}
+
+// accessPath is the planner's choice for reading the base table.
+type accessPath struct {
+	desc string
+	ids  []int // nil = full scan
+	all  bool
+}
+
+// planAccess inspects WHERE conjuncts for a sargable predicate over an
+// indexed column of the base table and returns matching row ids. The full
+// WHERE is still applied afterwards, so the index is purely an accelerator.
+func (t *table) planAccess(baseName string, where Expr, params []Value) accessPath {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if where == nil || len(t.indexes) == 0 {
+		return accessPath{desc: "SeqScan(" + t.name + ")", all: true}
+	}
+	conjuncts := splitAnd(where)
+	type candidate struct {
+		rank int // lower is better: 0 equality, 1 IN, 2 range
+		desc string
+		ids  []int
+	}
+	var best *candidate
+	consider := func(c candidate) {
+		if best == nil || c.rank < best.rank || (c.rank == best.rank && len(c.ids) < len(best.ids)) {
+			cc := c
+			best = &cc
+		}
+	}
+	colFor := func(e Expr) *indexDef {
+		cr, ok := e.(*ColumnRef)
+		if !ok {
+			return nil
+		}
+		if cr.Table != "" && !strings.EqualFold(cr.Table, baseName) {
+			return nil
+		}
+		return t.indexes[strings.ToLower(cr.Column)]
+	}
+	constVal := func(e Expr) (Value, bool) {
+		switch x := e.(type) {
+		case *Literal:
+			return x.Val, true
+		case *Param:
+			if x.Ordinal-1 < len(params) {
+				return params[x.Ordinal-1], true
+			}
+		}
+		return Null, false
+	}
+	for _, cj := range conjuncts {
+		switch x := cj.(type) {
+		case *BinaryExpr:
+			ix := colFor(x.L)
+			v, ok := constVal(x.R)
+			if ix == nil || !ok || v.IsNull() {
+				// try flipped: literal op column
+				ix = colFor(x.R)
+				if ix == nil {
+					continue
+				}
+				v2, ok2 := constVal(x.L)
+				if !ok2 || v2.IsNull() {
+					continue
+				}
+				// flip operator
+				flipped := map[string]string{"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+				op, okf := flipped[x.Op]
+				if !okf {
+					continue
+				}
+				x = &BinaryExpr{Op: op, L: x.R, R: x.L}
+				v = v2
+			}
+			switch x.Op {
+			case "=":
+				ids := ix.lookupEqLocked(v)
+				consider(candidate{rank: 0, desc: fmt.Sprintf("IndexScan(%s.%s = %s, %s)", t.name, ix.column, v, ix.kind), ids: ids})
+			case "<", "<=":
+				if ix.kind == OrderedIndex {
+					ids := ix.order.lookupRange(Null, v, false, x.Op == "<")
+					consider(candidate{rank: 2, desc: fmt.Sprintf("IndexRange(%s.%s %s %s)", t.name, ix.column, x.Op, v), ids: ids})
+				}
+			case ">", ">=":
+				if ix.kind == OrderedIndex {
+					ids := ix.order.lookupRange(v, Null, x.Op == ">", false)
+					consider(candidate{rank: 2, desc: fmt.Sprintf("IndexRange(%s.%s %s %s)", t.name, ix.column, x.Op, v), ids: ids})
+				}
+			}
+		case *InExpr:
+			if x.Not {
+				continue
+			}
+			ix := colFor(x.E)
+			if ix == nil {
+				continue
+			}
+			var ids []int
+			ok := true
+			for _, item := range x.List {
+				v, o := constVal(item)
+				if !o {
+					ok = false
+					break
+				}
+				ids = append(ids, ix.lookupEqLocked(v)...)
+			}
+			if ok {
+				consider(candidate{rank: 1, desc: fmt.Sprintf("IndexScan(%s.%s IN [%d values], %s)", t.name, ix.column, len(x.List), ix.kind), ids: dedupInts(ids)})
+			}
+		case *BetweenExpr:
+			if x.Not {
+				continue
+			}
+			ix := colFor(x.E)
+			if ix == nil || ix.kind != OrderedIndex {
+				continue
+			}
+			lo, ok1 := constVal(x.Lo)
+			hi, ok2 := constVal(x.Hi)
+			if !ok1 || !ok2 {
+				continue
+			}
+			ids := ix.order.lookupRange(lo, hi, false, false)
+			consider(candidate{rank: 2, desc: fmt.Sprintf("IndexRange(%s.%s BETWEEN %s AND %s)", t.name, ix.column, lo, hi), ids: ids})
+		}
+	}
+	if best == nil {
+		return accessPath{desc: "SeqScan(" + t.name + ")", all: true}
+	}
+	return accessPath{desc: best.desc, ids: best.ids}
+}
+
+// lookupEqLocked requires t.mu held (read).
+func (ix *indexDef) lookupEqLocked(v Value) []int {
+	if ix.kind == HashIndex {
+		return append([]int(nil), ix.hash[v.Key()]...)
+	}
+	return ix.order.lookupEq(v)
+}
+
+func splitAnd(e Expr) []Expr {
+	if b, ok := e.(*BinaryExpr); ok && b.Op == "AND" {
+		return append(splitAnd(b.L), splitAnd(b.R)...)
+	}
+	return []Expr{e}
+}
+
+func dedupInts(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

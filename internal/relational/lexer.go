@@ -1,0 +1,123 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp    // symbols: = != < <= > >= ( ) , * . ;
+	tokParam // ? positional parameter
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "LIKE": true, "ORDER": true, "BY": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true, "GROUP": true,
+	"HAVING": true, "AS": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"ON": true, "INSERT": true, "INTO": true, "VALUES": true, "CREATE": true,
+	"TABLE": true, "INDEX": true, "ORDERED": true, "UNIQUE": true, "DROP": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "NULL": true, "TRUE": true,
+	"FALSE": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true,
+	"MAX": true, "DISTINCT": true, "INT": true, "FLOAT": true, "TEXT": true,
+	"BOOL": true, "BETWEEN": true, "IS": true, "EXPLAIN": true,
+}
+
+// lex splits SQL text into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			closed := false
+			for j < n {
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					closed = true
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("relational: unterminated string at %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case unicode.IsDigit(c) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			j := i
+			seenDot := false
+			for j < n && (unicode.IsDigit(rune(input[j])) || (input[j] == '.' && !seenDot)) {
+				if input[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			word := input[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		case c == '?':
+			toks = append(toks, token{kind: tokParam, text: "?", pos: i})
+			i++
+		case strings.ContainsRune("=<>!(),*.;", c):
+			// multi-char operators
+			if (c == '<' || c == '>' || c == '!') && i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokOp, text: input[i : i+2], pos: i})
+				i += 2
+			} else if c == '<' && i+1 < n && input[i+1] == '>' {
+				toks = append(toks, token{kind: tokOp, text: "!=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokOp, text: string(c), pos: i})
+				i++
+			}
+		default:
+			return nil, fmt.Errorf("relational: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}

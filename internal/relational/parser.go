@@ -1,0 +1,724 @@
+package relational
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parser is a recursive-descent parser for the engine's SQL dialect.
+type parser struct {
+	toks    []token
+	pos     int
+	nparams int
+}
+
+// Parse parses one SQL statement.
+func Parse(sql string) (Statement, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	// allow trailing semicolon
+	if p.cur().kind == tokOp && p.cur().text == ";" {
+		p.pos++
+	}
+	if p.cur().kind != tokEOF {
+		return nil, fmt.Errorf("relational: unexpected trailing input %q at %d", p.cur().text, p.cur().pos)
+	}
+	return st, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tokKeyword && p.cur().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("relational: expected %s, got %q at %d", kw, p.cur().text, p.cur().pos)
+	}
+	return nil
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.cur().kind == tokOp && p.cur().text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return fmt.Errorf("relational: expected %q, got %q at %d", op, p.cur().text, p.cur().pos)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind == tokIdent {
+		p.pos++
+		return t.text, nil
+	}
+	// Permit non-reserved keyword-looking identifiers for column names like
+	// "count" is reserved, so users must quote differently; keep strict.
+	return "", fmt.Errorf("relational: expected identifier, got %q at %d", t.text, t.pos)
+}
+
+func (p *parser) statement() (Statement, error) {
+	t := p.cur()
+	if t.kind != tokKeyword {
+		return nil, fmt.Errorf("relational: expected statement keyword, got %q at %d", t.text, t.pos)
+	}
+	switch t.text {
+	case "EXPLAIN":
+		p.pos++
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		sel, ok := st.(*SelectStmt)
+		if !ok {
+			return nil, fmt.Errorf("relational: EXPLAIN supports SELECT only")
+		}
+		sel.Explain = true
+		return sel, nil
+	case "SELECT":
+		return p.selectStmt()
+	case "INSERT":
+		return p.insertStmt()
+	case "CREATE":
+		return p.createStmt()
+	case "DROP":
+		return p.dropStmt()
+	case "UPDATE":
+		return p.updateStmt()
+	case "DELETE":
+		return p.deleteStmt()
+	default:
+		return nil, fmt.Errorf("relational: unsupported statement %q", t.text)
+	}
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SelectStmt{Limit: -1}
+	sel.Distinct = p.acceptKeyword("DISTINCT")
+
+	for {
+		if p.acceptOp("*") {
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKeyword("AS") {
+				a, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			} else if p.cur().kind == tokIdent {
+				item.Alias = p.next().text
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	sel.From = from
+
+	for {
+		left := false
+		if p.acceptKeyword("LEFT") {
+			left = true
+			_ = p.acceptKeyword("INNER") // tolerate nothing; LEFT [JOIN]
+		} else if p.acceptKeyword("INNER") {
+			// inner join
+		} else if p.cur().kind == tokKeyword && p.cur().text == "JOIN" {
+			// bare JOIN
+		} else {
+			break
+		}
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return nil, err
+		}
+		tr, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		l, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		r, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.Joins = append(sel.Joins, JoinClause{Left: left, Table: tr, LCol: l, RCol: r})
+	}
+
+	if p.acceptKeyword("WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, c)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		n, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = n
+	}
+	if p.acceptKeyword("OFFSET") {
+		n, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		sel.Offset = n
+	}
+	return sel, nil
+}
+
+func (p *parser) expectInt() (int, error) {
+	t := p.cur()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("relational: expected number, got %q at %d", t.text, t.pos)
+	}
+	p.pos++
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("relational: invalid integer %q", t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Table: name}
+	if p.acceptKeyword("AS") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = a
+	} else if p.cur().kind == tokIdent {
+		tr.Alias = p.next().text
+	}
+	return tr, nil
+}
+
+func (p *parser) columnRef() (ColumnRef, error) {
+	a, err := p.expectIdent()
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	if p.acceptOp(".") {
+		b, err := p.expectIdent()
+		if err != nil {
+			return ColumnRef{}, err
+		}
+		return ColumnRef{Table: a, Column: b}, nil
+	}
+	return ColumnRef{Column: a}, nil
+}
+
+// expr parses OR-level expressions.
+func (p *parser) expr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", E: e}, nil
+	}
+	return p.comparison()
+}
+
+func (p *parser) comparison() (Expr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.acceptKeyword("IS") {
+		not := p.acceptKeyword("NOT")
+		if !p.acceptKeyword("NULL") {
+			return nil, fmt.Errorf("relational: expected NULL after IS at %d", p.cur().pos)
+		}
+		return &IsNullExpr{E: l, Not: not}, nil
+	}
+	// [NOT] IN / BETWEEN / LIKE
+	notPrefix := false
+	if p.cur().kind == tokKeyword && p.cur().text == "NOT" {
+		nt := p.toks[p.pos+1]
+		if nt.kind == tokKeyword && (nt.text == "IN" || nt.text == "BETWEEN" || nt.text == "LIKE") {
+			p.pos++
+			notPrefix = true
+		}
+	}
+	if p.acceptKeyword("IN") {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{E: l, List: list, Not: notPrefix}, nil
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{E: l, Lo: lo, Hi: hi, Not: notPrefix}, nil
+	}
+	if p.acceptKeyword("LIKE") {
+		r, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		e := Expr(&BinaryExpr{Op: "LIKE", L: l, R: r})
+		if notPrefix {
+			e = &UnaryExpr{Op: "NOT", E: e}
+		}
+		return e, nil
+	}
+	for _, op := range []string{"=", "!=", "<=", ">=", "<", ">"} {
+		if p.cur().kind == tokOp && p.cur().text == op {
+			p.pos++
+			r, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("relational: bad number %q", t.text)
+			}
+			return &Literal{Val: NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("relational: bad number %q", t.text)
+		}
+		return &Literal{Val: NewInt(n)}, nil
+	case tokString:
+		p.pos++
+		return &Literal{Val: NewString(t.text)}, nil
+	case tokParam:
+		p.pos++
+		p.nparams++
+		return &Param{Ordinal: p.nparams}, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.pos++
+			return &Literal{Val: Null}, nil
+		case "TRUE":
+			p.pos++
+			return &Literal{Val: NewBool(true)}, nil
+		case "FALSE":
+			p.pos++
+			return &Literal{Val: NewBool(false)}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.pos++
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			agg := &AggExpr{Fn: t.text}
+			if p.acceptOp("*") {
+				if t.text != "COUNT" {
+					return nil, fmt.Errorf("relational: %s(*) not supported", t.text)
+				}
+				agg.Star = true
+			} else {
+				agg.Distinct = p.acceptKeyword("DISTINCT")
+				arg, err := p.primary()
+				if err != nil {
+					return nil, err
+				}
+				agg.Arg = arg
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return agg, nil
+		case "NOT":
+			p.pos++
+			e, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: "NOT", E: e}, nil
+		}
+		return nil, fmt.Errorf("relational: unexpected keyword %q at %d", t.text, t.pos)
+	case tokIdent:
+		c, err := p.columnRef()
+		if err != nil {
+			return nil, err
+		}
+		return &c, nil
+	case tokOp:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "-" {
+			// negative literal (lexer never emits '-', but keep for safety)
+			p.pos++
+		}
+	}
+	return nil, fmt.Errorf("relational: unexpected token %q at %d", t.text, t.pos)
+}
+
+func (p *parser) insertStmt() (*InsertStmt, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ins := &InsertStmt{Table: name}
+	if p.acceptOp("(") {
+		for {
+			c, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, c)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) createStmt() (Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("TABLE") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		ct := &CreateTableStmt{Table: name}
+		for {
+			cn, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			tt := p.cur()
+			if tt.kind != tokKeyword {
+				return nil, fmt.Errorf("relational: expected type for column %q at %d", cn, tt.pos)
+			}
+			var ty Type
+			switch tt.text {
+			case "INT":
+				ty = TInt
+			case "FLOAT":
+				ty = TFloat
+			case "TEXT":
+				ty = TString
+			case "BOOL":
+				ty = TBool
+			default:
+				return nil, fmt.Errorf("relational: unknown type %q", tt.text)
+			}
+			p.pos++
+			ct.Columns = append(ct.Columns, Column{Name: cn, Type: ty})
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return ct, nil
+	}
+	ordered := p.acceptKeyword("ORDERED")
+	if p.acceptKeyword("INDEX") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		tbl, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &CreateIndexStmt{Name: name, Table: tbl, Column: col, Ordered: ordered}, nil
+	}
+	return nil, fmt.Errorf("relational: expected TABLE or INDEX after CREATE at %d", p.cur().pos)
+}
+
+func (p *parser) dropStmt() (Statement, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Table: name}, nil
+}
+
+func (p *parser) updateStmt() (*UpdateStmt, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	up := &UpdateStmt{Table: name}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		e, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		up.Set = append(up.Set, SetClause{Column: col, Value: e})
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		up.Where = w
+	}
+	return up, nil
+}
+
+func (p *parser) deleteStmt() (*DeleteStmt, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	del := &DeleteStmt{Table: name}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = w
+	}
+	return del, nil
+}

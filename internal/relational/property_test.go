@@ -1,0 +1,187 @@
+package relational
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// genValue builds a Value from quick-generated primitives.
+func genValue(kind uint8, i int64, f float64, s string, b bool) Value {
+	switch kind % 5 {
+	case 0:
+		return Null
+	case 1:
+		return NewInt(i % 1000)
+	case 2:
+		// Bound floats to a sane range; NaN/Inf break total-order axioms by
+		// definition and are rejected at insert time anyway.
+		return NewFloat(float64(int64(f*100) % 1000))
+	case 3:
+		if len(s) > 8 {
+			s = s[:8]
+		}
+		return NewString(s)
+	default:
+		return NewBool(b)
+	}
+}
+
+// TestCompareAntisymmetry: Compare(a,b) == -Compare(b,a).
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(k1, k2 uint8, i1, i2 int64, f1, f2 float64, s1, s2 string, b1, b2 bool) bool {
+		a := genValue(k1, i1, f1, s1, b1)
+		b := genValue(k2, i2, f2, s2, b2)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareTransitivity: a<=b && b<=c => a<=c over random triples.
+func TestCompareTransitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]Value, 200)
+	for i := range vals {
+		vals[i] = genValue(uint8(rng.Intn(5)), rng.Int63(), rng.Float64()*1e3, fmt.Sprintf("s%d", rng.Intn(50)), rng.Intn(2) == 0)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		a := vals[rng.Intn(len(vals))]
+		b := vals[rng.Intn(len(vals))]
+		c := vals[rng.Intn(len(vals))]
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			t.Fatalf("transitivity violated: %v <= %v <= %v but %v > %v", a, b, c, a, c)
+		}
+	}
+}
+
+// likeRef is a regexp-based reference implementation of the LIKE matcher.
+func likeRef(s, pattern string) bool {
+	var re strings.Builder
+	re.WriteString("(?is)^")
+	for _, r := range pattern {
+		switch r {
+		case '%':
+			re.WriteString(".*")
+		case '_':
+			re.WriteString(".")
+		default:
+			re.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	re.WriteString("$")
+	ok, err := regexp.MatchString(re.String(), s)
+	return err == nil && ok
+}
+
+// TestLikeMatchesReference checks likeMatch against the regexp reference on
+// random ASCII inputs and patterns.
+func TestLikeMatchesReference(t *testing.T) {
+	alphabet := []byte("ab%_c")
+	rng := rand.New(rand.NewSource(11))
+	randStr := func(n int) string {
+		b := make([]byte, rng.Intn(n))
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 3000; trial++ {
+		s := strings.ReplaceAll(strings.ReplaceAll(randStr(8), "%", "x"), "_", "y")
+		p := randStr(6)
+		got := likeMatch(s, p)
+		want := likeRef(s, p)
+		if got != want {
+			t.Fatalf("likeMatch(%q, %q) = %v, reference = %v", s, p, got, want)
+		}
+	}
+}
+
+// TestInsertSelectRoundTripProperty: for random row batches, COUNT(*)
+// equals the number of inserted rows and every value round-trips.
+func TestInsertSelectRoundTripProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		db := NewDB()
+		if _, err := db.Exec(`CREATE TABLE t (i INT, s TEXT)`); err != nil {
+			return false
+		}
+		for idx, v := range vals {
+			if _, err := db.Exec(`INSERT INTO t VALUES (?, ?)`, int(v), fmt.Sprintf("row%d", idx)); err != nil {
+				return false
+			}
+		}
+		res, err := db.Query(`SELECT COUNT(*) FROM t`)
+		if err != nil || res.Rows[0][0].I != int64(len(vals)) {
+			return false
+		}
+		all, err := db.Query(`SELECT i, s FROM t`)
+		if err != nil || len(all.Rows) != len(vals) {
+			return false
+		}
+		for idx, v := range vals {
+			if all.Rows[idx][0].I != int64(v) || all.Rows[idx][1].S != fmt.Sprintf("row%d", idx) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexedEqualsSeqScanProperty: queries served by an index return the
+// same multiset of rows as the unindexed plan.
+func TestIndexedEqualsSeqScanProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		plain := NewDB()
+		indexed := NewDB()
+		for _, db := range []*DB{plain, indexed} {
+			if _, err := db.Exec(`CREATE TABLE t (k INT, v INT)`); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := indexed.Exec(`CREATE ORDERED INDEX ik ON t (k)`); err != nil {
+			t.Fatal(err)
+		}
+		n := 50 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			k, v := rng.Intn(20), rng.Intn(1000)
+			for _, db := range []*DB{plain, indexed} {
+				if _, err := db.Exec(`INSERT INTO t VALUES (?, ?)`, k, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for _, q := range []string{
+			fmt.Sprintf(`SELECT v FROM t WHERE k = %d ORDER BY v`, rng.Intn(20)),
+			fmt.Sprintf(`SELECT v FROM t WHERE k >= %d ORDER BY v`, rng.Intn(20)),
+			fmt.Sprintf(`SELECT v FROM t WHERE k BETWEEN %d AND %d ORDER BY v`, rng.Intn(10), 10+rng.Intn(10)),
+		} {
+			a, err := plain.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := indexed.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Rows) != len(b.Rows) {
+				t.Fatalf("row count differs for %q: %d vs %d", q, len(a.Rows), len(b.Rows))
+			}
+			for i := range a.Rows {
+				if Compare(a.Rows[i][0], b.Rows[i][0]) != 0 {
+					t.Fatalf("row %d differs for %q: %v vs %v", i, q, a.Rows[i][0], b.Rows[i][0])
+				}
+			}
+		}
+	}
+}

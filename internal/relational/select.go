@@ -1,0 +1,516 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// execSelect runs a SELECT: access-path planning, joins, filtering,
+// aggregation, projection, DISTINCT, ordering and limiting.
+func (db *DB) execSelect(sel *SelectStmt, params []Value) (*Result, error) {
+	base, err := db.table(sel.From.Table)
+	if err != nil {
+		return nil, err
+	}
+	baseName := strings.ToLower(sel.From.Name())
+
+	path := base.planAccess(sel.From.Name(), sel.Where, params)
+	planLines := []string{path.desc}
+
+	// Materialize base rows.
+	var rows []Row
+	if path.all {
+		_, snap := base.snapshot()
+		rows = snap
+	} else {
+		base.mu.RLock()
+		rows = make([]Row, 0, len(path.ids))
+		for _, id := range path.ids {
+			if id >= 0 && id < len(base.rows) && base.live[id] {
+				rows = append(rows, base.rows[id])
+			}
+		}
+		base.mu.RUnlock()
+	}
+
+	cols := make([]envCol, 0, len(base.schema.Columns))
+	for _, c := range base.schema.Columns {
+		cols = append(cols, envCol{table: baseName, name: strings.ToLower(c.Name)})
+	}
+	// Track pretty names for star expansion.
+	pretty := append([]string(nil), base.schema.Names()...)
+
+	// Hash joins, applied left to right.
+	for _, j := range sel.Joins {
+		jt, err := db.table(j.Table.Table)
+		if err != nil {
+			return nil, err
+		}
+		jName := strings.ToLower(j.Table.Name())
+		_, jRows := jt.snapshot()
+
+		// Determine which side of ON belongs to the joined table.
+		jCols := make([]envCol, 0, len(jt.schema.Columns))
+		for _, c := range jt.schema.Columns {
+			jCols = append(jCols, envCol{table: jName, name: strings.ToLower(c.Name)})
+		}
+		leftRef, rightRef := j.LCol, j.RCol
+		jEnv := &env{cols: jCols}
+		if _, err := jEnv.resolve(&rightRef); err != nil {
+			// ON was written joined-side first; swap.
+			leftRef, rightRef = rightRef, leftRef
+			if _, err2 := jEnv.resolve(&rightRef); err2 != nil {
+				return nil, fmt.Errorf("relational: join condition references no column of %s", j.Table.Name())
+			}
+		}
+		rIdx, err := jEnv.resolve(&rightRef)
+		if err != nil {
+			return nil, err
+		}
+		curEnv := &env{cols: cols}
+		lIdx, err := curEnv.resolve(&leftRef)
+		if err != nil {
+			return nil, err
+		}
+		// Build hash on joined table.
+		build := make(map[string][]Row, len(jRows))
+		for _, r := range jRows {
+			v := r[rIdx]
+			if v.IsNull() {
+				continue
+			}
+			build[v.Key()] = append(build[v.Key()], r)
+		}
+		joined := make([]Row, 0, len(rows))
+		nullRight := make(Row, len(jt.schema.Columns))
+		for i := range nullRight {
+			nullRight[i] = Null
+		}
+		for _, lr := range rows {
+			v := lr[lIdx]
+			var matches []Row
+			if !v.IsNull() {
+				matches = build[v.Key()]
+			}
+			if len(matches) == 0 {
+				if j.Left {
+					nr := make(Row, 0, len(lr)+len(nullRight))
+					nr = append(nr, lr...)
+					nr = append(nr, nullRight...)
+					joined = append(joined, nr)
+				}
+				continue
+			}
+			for _, rr := range matches {
+				nr := make(Row, 0, len(lr)+len(rr))
+				nr = append(nr, lr...)
+				nr = append(nr, rr...)
+				joined = append(joined, nr)
+			}
+		}
+		rows = joined
+		cols = append(cols, jCols...)
+		pretty = append(pretty, jt.schema.Names()...)
+		kind := "HashJoin"
+		if j.Left {
+			kind = "LeftHashJoin"
+		}
+		planLines = append(planLines, fmt.Sprintf("%s(%s ON %s = %s)", kind, j.Table.Name(), j.LCol.String(), j.RCol.String()))
+	}
+
+	// Filter.
+	if sel.Where != nil {
+		e := &env{cols: cols}
+		filtered := rows[:0:0]
+		for _, r := range rows {
+			e.row = r
+			v, err := eval(e, sel.Where, params)
+			if err != nil {
+				return nil, err
+			}
+			if truthy(v) {
+				filtered = append(filtered, r)
+			}
+		}
+		rows = filtered
+		planLines = append(planLines, "Filter("+exprString(sel.Where)+")")
+	}
+
+	// Aggregation?
+	aggregated := len(sel.GroupBy) > 0
+	for _, it := range sel.Items {
+		if !it.Star && hasAggregate(it.Expr) {
+			aggregated = true
+		}
+	}
+
+	var out *Result
+	if aggregated {
+		out, err = aggregate(sel, rows, cols, pretty, params)
+		if err != nil {
+			return nil, err
+		}
+		if len(sel.GroupBy) > 0 {
+			planLines = append(planLines, fmt.Sprintf("GroupBy(%d keys)", len(sel.GroupBy)))
+		} else {
+			planLines = append(planLines, "Aggregate")
+		}
+	} else {
+		out, err = project(sel, rows, cols, pretty, params)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if sel.Distinct {
+		out.Rows = distinctRows(out.Rows)
+		planLines = append(planLines, "Distinct")
+	}
+
+	if len(sel.OrderBy) > 0 {
+		if err := orderResult(sel, out, cols, rows, params, aggregated); err != nil {
+			return nil, err
+		}
+		planLines = append(planLines, fmt.Sprintf("Sort(%d keys)", len(sel.OrderBy)))
+	}
+
+	if sel.Offset > 0 {
+		if sel.Offset >= len(out.Rows) {
+			out.Rows = nil
+		} else {
+			out.Rows = out.Rows[sel.Offset:]
+		}
+	}
+	if sel.Limit >= 0 && sel.Limit < len(out.Rows) {
+		out.Rows = out.Rows[:sel.Limit]
+		planLines = append(planLines, fmt.Sprintf("Limit(%d)", sel.Limit))
+	}
+
+	out.Plan = strings.Join(planLines, " -> ")
+	if sel.Explain {
+		return &Result{Columns: []string{"plan"}, Rows: []Row{{NewString(out.Plan)}}, Plan: out.Plan}, nil
+	}
+	return out, nil
+}
+
+// project evaluates non-aggregate select items per row.
+func project(sel *SelectStmt, rows []Row, cols []envCol, pretty []string, params []Value) (*Result, error) {
+	var names []string
+	for _, it := range sel.Items {
+		if it.Star {
+			names = append(names, pretty...)
+			continue
+		}
+		names = append(names, itemName(it))
+	}
+	res := &Result{Columns: names}
+	e := &env{cols: cols}
+	for _, r := range rows {
+		e.row = r
+		var or Row
+		for _, it := range sel.Items {
+			if it.Star {
+				or = append(or, r...)
+				continue
+			}
+			v, err := eval(e, it.Expr, params)
+			if err != nil {
+				return nil, err
+			}
+			or = append(or, v)
+		}
+		res.Rows = append(res.Rows, or)
+	}
+	return res, nil
+}
+
+func itemName(it SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if c, ok := it.Expr.(*ColumnRef); ok {
+		return c.Column
+	}
+	return exprString(it.Expr)
+}
+
+// aggregate groups rows by the GROUP BY keys (or a single global group) and
+// evaluates aggregate select items per group.
+func aggregate(sel *SelectStmt, rows []Row, cols []envCol, pretty []string, params []Value) (*Result, error) {
+	for _, it := range sel.Items {
+		if it.Star {
+			return nil, fmt.Errorf("relational: SELECT * cannot be combined with aggregates")
+		}
+	}
+	e := &env{cols: cols}
+	type group struct {
+		key  string
+		rows []Row
+	}
+	var groups []*group
+	byKey := map[string]*group{}
+	if len(sel.GroupBy) == 0 {
+		g := &group{key: ""}
+		g.rows = rows
+		groups = append(groups, g)
+	} else {
+		for _, r := range rows {
+			e.row = r
+			var kb strings.Builder
+			for _, gc := range sel.GroupBy {
+				gcCopy := gc
+				i, err := e.resolve(&gcCopy)
+				if err != nil {
+					return nil, err
+				}
+				kb.WriteString(r[i].Key())
+				kb.WriteByte('\x00')
+			}
+			k := kb.String()
+			g, ok := byKey[k]
+			if !ok {
+				g = &group{key: k}
+				byKey[k] = g
+				groups = append(groups, g)
+			}
+			g.rows = append(g.rows, r)
+		}
+	}
+
+	var names []string
+	for _, it := range sel.Items {
+		names = append(names, itemName(it))
+	}
+	res := &Result{Columns: names}
+	for _, g := range groups {
+		if len(sel.GroupBy) == 0 && len(g.rows) == 0 {
+			// Global aggregate over empty input still yields one row.
+			var or Row
+			for _, it := range sel.Items {
+				v, err := evalAgg(e, it.Expr, g.rows, params)
+				if err != nil {
+					return nil, err
+				}
+				or = append(or, v)
+			}
+			res.Rows = append(res.Rows, or)
+			continue
+		}
+		if sel.Having != nil {
+			hv, err := evalAgg(e, sel.Having, g.rows, params)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(hv) {
+				continue
+			}
+		}
+		var or Row
+		for _, it := range sel.Items {
+			v, err := evalAgg(e, it.Expr, g.rows, params)
+			if err != nil {
+				return nil, err
+			}
+			or = append(or, v)
+		}
+		res.Rows = append(res.Rows, or)
+	}
+	return res, nil
+}
+
+// evalAgg evaluates an expression that may contain aggregates over the rows
+// of one group. Non-aggregate subexpressions are evaluated on the group's
+// first row (they should be GROUP BY keys).
+func evalAgg(e *env, x Expr, rows []Row, params []Value) (Value, error) {
+	switch v := x.(type) {
+	case *AggExpr:
+		return computeAgg(e, v, rows, params)
+	case *BinaryExpr:
+		if !hasAggregate(v) {
+			return evalOnFirst(e, x, rows, params)
+		}
+		l, err := evalAgg(e, v.L, rows, params)
+		if err != nil {
+			return Null, err
+		}
+		r, err := evalAgg(e, v.R, rows, params)
+		if err != nil {
+			return Null, err
+		}
+		tmp := &env{cols: nil, row: nil}
+		return evalBinary(tmp, &BinaryExpr{Op: v.Op, L: &Literal{Val: l}, R: &Literal{Val: r}}, params)
+	case *UnaryExpr:
+		inner, err := evalAgg(e, v.E, rows, params)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(!truthy(inner)), nil
+	default:
+		return evalOnFirst(e, x, rows, params)
+	}
+}
+
+func evalOnFirst(e *env, x Expr, rows []Row, params []Value) (Value, error) {
+	if len(rows) == 0 {
+		return Null, nil
+	}
+	e.row = rows[0]
+	return eval(e, x, params)
+}
+
+func computeAgg(e *env, a *AggExpr, rows []Row, params []Value) (Value, error) {
+	if a.Star {
+		return NewInt(int64(len(rows))), nil
+	}
+	var vals []Value
+	seen := map[string]bool{}
+	for _, r := range rows {
+		e.row = r
+		v, err := eval(e, a.Arg, params)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if a.Distinct {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch a.Fn {
+	case "COUNT":
+		return NewInt(int64(len(vals))), nil
+	case "SUM", "AVG":
+		var sum float64
+		allInt := true
+		for _, v := range vals {
+			f, ok := v.numeric()
+			if !ok {
+				return Null, fmt.Errorf("relational: %s over non-numeric value", a.Fn)
+			}
+			if v.T != TInt {
+				allInt = false
+			}
+			sum += f
+		}
+		if len(vals) == 0 {
+			return Null, nil
+		}
+		if a.Fn == "AVG" {
+			return NewFloat(sum / float64(len(vals))), nil
+		}
+		if allInt {
+			return NewInt(int64(sum)), nil
+		}
+		return NewFloat(sum), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return Null, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := Compare(v, best)
+			if (a.Fn == "MIN" && c < 0) || (a.Fn == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return Null, fmt.Errorf("relational: unknown aggregate %q", a.Fn)
+	}
+}
+
+func distinctRows(rows []Row) []Row {
+	seen := map[string]bool{}
+	out := rows[:0:0]
+	for _, r := range rows {
+		var kb strings.Builder
+		for _, v := range r {
+			kb.WriteString(v.Key())
+			kb.WriteByte('\x00')
+		}
+		k := kb.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// orderResult sorts the projected rows. ORDER BY keys naming an output
+// column (or alias) sort on the output; otherwise, for non-aggregated
+// queries, the key is evaluated against the underlying input row.
+func orderResult(sel *SelectStmt, out *Result, cols []envCol, inputRows []Row, params []Value, aggregated bool) error {
+	type sortKey struct {
+		vals []Value
+	}
+	keys := make([]sortKey, len(out.Rows))
+
+	outIdx := func(name string) int {
+		for i, c := range out.Columns {
+			if strings.EqualFold(c, name) {
+				return i
+			}
+		}
+		return -1
+	}
+
+	for ki, ob := range sel.OrderBy {
+		// Try output column first.
+		if cr, ok := ob.Expr.(*ColumnRef); ok && cr.Table == "" {
+			if i := outIdx(cr.Column); i >= 0 {
+				for ri := range out.Rows {
+					keys[ri].vals = append(keys[ri].vals, out.Rows[ri][i])
+				}
+				continue
+			}
+		}
+		if aggregated {
+			return fmt.Errorf("relational: ORDER BY key %q must be an output column in aggregate queries", exprString(ob.Expr))
+		}
+		if len(inputRows) != len(out.Rows) {
+			return fmt.Errorf("relational: internal: row count mismatch in ORDER BY")
+		}
+		e := &env{cols: cols}
+		for ri := range inputRows {
+			e.row = inputRows[ri]
+			v, err := eval(e, ob.Expr, params)
+			if err != nil {
+				return err
+			}
+			keys[ri].vals = append(keys[ri].vals, v)
+		}
+		_ = ki
+	}
+
+	idx := make([]int, len(out.Rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for ki, ob := range sel.OrderBy {
+			c := Compare(keys[idx[a]].vals[ki], keys[idx[b]].vals[ki])
+			if c == 0 {
+				continue
+			}
+			if ob.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	sorted := make([]Row, len(out.Rows))
+	for i, p := range idx {
+		sorted[i] = out.Rows[p]
+	}
+	out.Rows = sorted
+	return nil
+}

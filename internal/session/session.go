@@ -1,0 +1,312 @@
+// Package session implements the blueprint's sessions (§V-E): the context
+// and scope in which agents collaborate. A session owns a family of streams
+// (user input, control, session signals, display output), tracks the agents
+// added to it — explicitly by the user, via configuration, or by the task
+// planner — and supports hierarchical sub-scopes such as SESSION:ID:PROFILE,
+// analogous to scoping in programming languages.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"blueprint/internal/agent"
+	"blueprint/internal/streams"
+)
+
+// Common errors.
+var (
+	ErrSessionExists   = errors.New("session: session already exists")
+	ErrSessionNotFound = errors.New("session: session not found")
+	ErrAgentActive     = errors.New("session: agent already active")
+	ErrAgentInactive   = errors.New("session: agent not active")
+)
+
+// UserStream is the stream carrying user utterances for a session.
+func UserStream(id string) string { return id + ":user" }
+
+// EventStream carries UI events (§VI: "events from UI are processed just
+// like any other input through streams").
+func EventStream(id string) string { return id + ":events" }
+
+// Manager creates and tracks sessions over one stream store.
+type Manager struct {
+	mu       sync.Mutex
+	store    *streams.Store
+	factory  *agent.Factory
+	sessions map[string]*Session
+	nextID   int
+}
+
+// NewManager creates a session manager. The factory may be nil if agents
+// are attached directly rather than spawned by name.
+func NewManager(store *streams.Store, factory *agent.Factory) *Manager {
+	return &Manager{store: store, factory: factory, sessions: make(map[string]*Session)}
+}
+
+// Create opens a new session. An empty id allocates "session:<n>".
+func (m *Manager) Create(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id == "" {
+		m.nextID++
+		id = fmt.Sprintf("session:%d", m.nextID)
+	}
+	if _, ok := m.sessions[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrSessionExists, id)
+	}
+	s := &Session{
+		ID:      id,
+		store:   m.store,
+		factory: m.factory,
+		mgr:     m,
+		agents:  make(map[string]*agent.Instance),
+	}
+	for _, stream := range []string{
+		UserStream(id), EventStream(id),
+		agent.ControlStream(id), agent.SessionStream(id), agent.DisplayStream(id),
+	} {
+		if _, err := m.store.EnsureStream(stream, streams.StreamInfo{Session: id, Creator: "session-manager"}); err != nil {
+			return nil, err
+		}
+	}
+	m.sessions[id] = s
+	return s, nil
+}
+
+// Get returns an open session.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrSessionNotFound, id)
+	}
+	return s, nil
+}
+
+// List returns open session ids, sorted.
+func (m *Manager) List() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (m *Manager) remove(id string) {
+	m.mu.Lock()
+	delete(m.sessions, id)
+	m.mu.Unlock()
+}
+
+// Session is one collaborative context.
+type Session struct {
+	// ID is the session scope identifier.
+	ID string
+
+	store   *streams.Store
+	factory *agent.Factory
+	mgr     *Manager
+
+	mu     sync.Mutex
+	agents map[string]*agent.Instance
+	subs   []*Session
+	closed bool
+}
+
+// Store exposes the underlying stream store.
+func (s *Session) Store() *streams.Store { return s.store }
+
+// Extend opens a nested sub-scope session (e.g. profile collection grouped
+// as SESSION:ID:PROFILE, §V-E). The child shares the store; closing the
+// parent closes its children.
+func (s *Session) Extend(name string) (*Session, error) {
+	child, err := s.mgr.Create(s.ID + ":" + name)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.subs = append(s.subs, child)
+	s.mu.Unlock()
+	return child, nil
+}
+
+// AddAgent attaches a pre-built agent to the session and announces
+// ADD_AGENT on the session stream.
+func (s *Session) AddAgent(a *agent.Agent, opts agent.Options) (*agent.Instance, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrSessionNotFound, s.ID)
+	}
+	if _, ok := s.agents[a.Spec.Name]; ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrAgentActive, a.Spec.Name)
+	}
+	s.mu.Unlock()
+
+	inst, err := agent.Attach(s.store, s.ID, a, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.agents[a.Spec.Name] = inst
+	s.mu.Unlock()
+	_, _ = s.store.Append(streams.Message{
+		Stream: agent.SessionStream(s.ID), Kind: streams.Control, Sender: "session-manager",
+		Directive: &streams.Directive{Op: streams.OpAddAgent, Agent: a.Spec.Name},
+	})
+	return inst, nil
+}
+
+// SpawnAgent builds the named agent from the factory and adds it.
+func (s *Session) SpawnAgent(name string, opts agent.Options) (*agent.Instance, error) {
+	if s.factory == nil {
+		return nil, errors.New("session: no factory configured")
+	}
+	a, err := s.factory.Build(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.AddAgent(a, opts)
+}
+
+// RemoveAgent stops an active agent and announces REMOVE_AGENT.
+func (s *Session) RemoveAgent(name string) error {
+	s.mu.Lock()
+	inst, ok := s.agents[name]
+	if ok {
+		delete(s.agents, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrAgentInactive, name)
+	}
+	inst.Stop()
+	_, _ = s.store.Append(streams.Message{
+		Stream: agent.SessionStream(s.ID), Kind: streams.Control, Sender: "session-manager",
+		Directive: &streams.Directive{Op: streams.OpRemoveAgent, Agent: name},
+	})
+	return nil
+}
+
+// Agents returns the names of active agents, sorted.
+func (s *Session) Agents() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.agents))
+	for n := range s.agents {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Agent returns the active instance by name.
+func (s *Session) Agent(name string) (*agent.Instance, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inst, ok := s.agents[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrAgentInactive, name)
+	}
+	return inst, nil
+}
+
+// PostUserText publishes a user utterance to the session's user stream,
+// tagged "user" and "utterance".
+func (s *Session) PostUserText(text string) (streams.Message, error) {
+	return s.store.Append(streams.Message{
+		Stream: UserStream(s.ID), Session: s.ID, Kind: streams.Data,
+		Sender: "user", Tags: []string{"user", "utterance"}, Payload: text,
+	})
+}
+
+// PostUserEvent publishes a UI event (click, form submit) to the session's
+// event stream (Fig. 9 step 1).
+func (s *Session) PostUserEvent(event map[string]any) (streams.Message, error) {
+	return s.store.Append(streams.Message{
+		Stream: EventStream(s.ID), Session: s.ID, Kind: streams.Event,
+		Sender: "user", Tags: []string{"ui", "event"}, Payload: event,
+	})
+}
+
+// Display returns the user-facing outputs rendered so far (the display
+// stream payloads, in order).
+func (s *Session) Display() []string {
+	msgs, err := s.store.ReadAll(agent.DisplayStream(s.ID))
+	if err != nil {
+		return nil
+	}
+	out := make([]string, 0, len(msgs))
+	for _, m := range msgs {
+		out = append(out, m.PayloadString())
+	}
+	return out
+}
+
+// History returns every message in this session scope (including
+// sub-scopes), in global order — the paper's observability story.
+func (s *Session) History() []streams.Message {
+	return s.store.History(s.ID)
+}
+
+// Members reconstructs agent membership from the session stream's
+// ENTER/EXIT signals: the authoritative, replayable record (§V-E).
+func (s *Session) Members() []string {
+	msgs, err := s.store.ReadAll(agent.SessionStream(s.ID))
+	if err != nil {
+		return nil
+	}
+	active := map[string]bool{}
+	for _, m := range msgs {
+		if m.Directive == nil {
+			continue
+		}
+		switch m.Directive.Op {
+		case streams.OpEnterSession:
+			active[m.Directive.Agent] = true
+		case streams.OpExitSession:
+			delete(active, m.Directive.Agent)
+		}
+	}
+	out := make([]string, 0, len(active))
+	for n := range active {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close stops all agents (children first) and removes the session from its
+// manager. Closing twice is a no-op.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	subs := s.subs
+	s.subs = nil
+	agents := make([]*agent.Instance, 0, len(s.agents))
+	for _, inst := range s.agents {
+		agents = append(agents, inst)
+	}
+	s.agents = make(map[string]*agent.Instance)
+	s.mu.Unlock()
+
+	for _, c := range subs {
+		c.Close()
+	}
+	for _, inst := range agents {
+		inst.Stop()
+	}
+	s.mgr.remove(s.ID)
+}

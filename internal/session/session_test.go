@@ -1,0 +1,200 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"blueprint/internal/agent"
+	"blueprint/internal/registry"
+	"blueprint/internal/streams"
+)
+
+func newEnv(t testing.TB) (*streams.Store, *Manager) {
+	t.Helper()
+	store := streams.NewStore()
+	t.Cleanup(func() { store.Close() })
+	reg := registry.NewAgentRegistry()
+	if err := reg.Register(registry.AgentSpec{
+		Name:    "GREETER",
+		Inputs:  []registry.ParamSpec{{Name: "TEXT"}},
+		Outputs: []registry.ParamSpec{{Name: "GREETING"}},
+		Listen:  registry.ListenRule{IncludeTags: []string{"utterance"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f := agent.NewFactory(reg)
+	f.RegisterConstructor("GREETER", func(spec registry.AgentSpec) agent.Processor {
+		return func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
+			text, _ := inv.Inputs["TEXT"].(string)
+			return agent.Outputs{
+				Values:  map[string]any{"GREETING": "hi, " + text},
+				Display: "hi, " + text,
+			}, nil
+		}
+	})
+	return store, NewManager(store, f)
+}
+
+func TestCreateAndList(t *testing.T) {
+	_, m := newEnv(t)
+	s1, err := m.Create("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.ID != "session:1" {
+		t.Fatalf("id = %s", s1.ID)
+	}
+	s2, err := m.Create("session:custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("session:custom"); !errors.Is(err, ErrSessionExists) {
+		t.Fatalf("err = %v", err)
+	}
+	ids := m.List()
+	if len(ids) != 2 || ids[0] != "session:1" || ids[1] != "session:custom" {
+		t.Fatalf("list = %v", ids)
+	}
+	got, err := m.Get("session:custom")
+	if err != nil || got != s2 {
+		t.Fatalf("get = %v, %v", got, err)
+	}
+	if _, err := m.Get("missing"); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSpawnAgentAndConversation(t *testing.T) {
+	store, m := newEnv(t)
+	s, err := m.Create("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.SpawnAgent("GREETER", agent.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Agents(); len(got) != 1 || got[0] != "GREETER" {
+		t.Fatalf("agents = %v", got)
+	}
+	if _, err := s.Agent("GREETER"); err != nil {
+		t.Fatal(err)
+	}
+
+	disp := store.Subscribe(streams.Filter{Streams: []string{agent.DisplayStream(s.ID)}}, true)
+	defer disp.Cancel()
+
+	if _, err := s.PostUserText("alice"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-disp.C():
+		if msg.Payload != "hi, alice" {
+			t.Fatalf("display = %v", msg.Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no display output")
+	}
+	if got := s.Display(); len(got) != 1 || got[0] != "hi, alice" {
+		t.Fatalf("Display() = %v", got)
+	}
+}
+
+func TestMembersFromSessionStream(t *testing.T) {
+	_, m := newEnv(t)
+	s, _ := m.Create("")
+	defer s.Close()
+	if _, err := s.SpawnAgent("GREETER", agent.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Members(); len(got) != 1 || got[0] != "GREETER" {
+		t.Fatalf("members = %v", got)
+	}
+	if err := s.RemoveAgent("GREETER"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Members(); len(got) != 0 {
+		t.Fatalf("members after exit = %v", got)
+	}
+	if err := s.RemoveAgent("GREETER"); !errors.Is(err, ErrAgentInactive) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDuplicateAgentRejected(t *testing.T) {
+	_, m := newEnv(t)
+	s, _ := m.Create("")
+	defer s.Close()
+	if _, err := s.SpawnAgent("GREETER", agent.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SpawnAgent("GREETER", agent.Options{}); !errors.Is(err, ErrAgentActive) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExtendScoping(t *testing.T) {
+	store, m := newEnv(t)
+	s, _ := m.Create("session:9")
+	child, err := s.Extend("profile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.ID != "session:9:profile" {
+		t.Fatalf("child id = %s", child.ID)
+	}
+	// Messages in the child scope appear in the parent's history.
+	if _, err := child.PostUserText("nested text"); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, msg := range s.History() {
+		if msg.PayloadString() == "nested text" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("child message not in parent history")
+	}
+	// Parent close cascades.
+	s.Close()
+	if got := m.List(); len(got) != 0 {
+		t.Fatalf("sessions after close = %v", got)
+	}
+	_ = store
+}
+
+func TestUserEvent(t *testing.T) {
+	store, m := newEnv(t)
+	s, _ := m.Create("")
+	defer s.Close()
+	sub := store.Subscribe(streams.Filter{Kinds: []streams.Kind{streams.Event}}, false)
+	defer sub.Cancel()
+	if _, err := s.PostUserEvent(map[string]any{"action": "select", "job_id": 12}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-sub.C():
+		if !msg.HasTag("ui") || msg.Kind != streams.Event {
+			t.Fatalf("event = %+v", msg)
+		}
+		if !strings.Contains(msg.PayloadString(), "job_id") {
+			t.Fatalf("payload = %s", msg.PayloadString())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no event delivered")
+	}
+}
+
+func TestCloseIdempotentAndAddAfterClose(t *testing.T) {
+	_, m := newEnv(t)
+	s, _ := m.Create("")
+	s.Close()
+	s.Close()
+	if _, err := s.SpawnAgent("GREETER", agent.Options{}); err == nil {
+		t.Fatal("spawn on closed session succeeded")
+	}
+}

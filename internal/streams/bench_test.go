@@ -1,0 +1,81 @@
+package streams
+
+import (
+	"testing"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	s := NewStore()
+	b.Cleanup(func() { s.Close() })
+	if _, err := s.CreateStream("x", StreamInfo{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Append(Message{Stream: "x", Payload: i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendWithTagFilterMiss(b *testing.B) {
+	// Subscribers whose filters never match: measures routing overhead.
+	s := NewStore()
+	b.Cleanup(func() { s.Close() })
+	if _, err := s.CreateStream("x", StreamInfo{}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		sub := s.Subscribe(Filter{IncludeTags: []string{"never"}}, false)
+		b.Cleanup(sub.Cancel)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Append(Message{Stream: "x", Tags: []string{"data"}, Payload: i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubscribeReplay(b *testing.B) {
+	s := NewStore()
+	b.Cleanup(func() { s.Close() })
+	if _, err := s.CreateStream("x", StreamInfo{}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := s.Append(Message{Stream: "x", Payload: i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub := s.Subscribe(Filter{Streams: []string{"x"}}, true)
+		for j := 0; j < 1000; j++ {
+			<-sub.C()
+		}
+		sub.Cancel()
+	}
+}
+
+func BenchmarkHistory(b *testing.B) {
+	s := NewStore()
+	b.Cleanup(func() { s.Close() })
+	for st := 0; st < 10; st++ {
+		id := string(rune('a' + st))
+		if _, err := s.CreateStream(id, StreamInfo{Session: "s:1"}); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := s.Append(Message{Stream: id, Payload: i}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h := s.History("s:1"); len(h) != 1000 {
+			b.Fatal("bad history")
+		}
+	}
+}

@@ -1,0 +1,8 @@
+package streams
+
+import "os"
+
+// openAppend opens path for appending; test helper for crash simulation.
+func openAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}

@@ -1,0 +1,146 @@
+// Package streams implements the blueprint architecture's central
+// orchestration substrate: streams of data and control messages that
+// components produce, distribute, monitor and consume (paper §V-A).
+//
+// A stream is an ordered, append-only sequence of messages. Messages carry
+// either data (payloads flowing between agents) or control (instructions such
+// as "execute the SQL agent"). Components subscribe to streams — optionally
+// filtered by tags, kinds, sessions or senders — and receive notifications
+// for every matching message. Streams are first-class data resources: they
+// can be listed, read from any offset, closed, persisted to a write-ahead log
+// and recovered, giving the observability and controllability the paper
+// calls for.
+package streams
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Kind distinguishes the two message classes of §V-A plus UI events (§VI).
+type Kind int
+
+const (
+	// Data messages carry payloads between components.
+	Data Kind = iota
+	// Control messages carry instructions (e.g. invoke SQL agent).
+	Control
+	// Event messages carry UI events (clicks, form submissions), which the
+	// case study (§VI, Fig. 9) processes "just like any other input".
+	Event
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Control:
+		return "control"
+	case Event:
+		return "event"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Well-known control operations exchanged between blueprint components.
+const (
+	OpExecuteAgent = "EXECUTE_AGENT" // coordinator -> agent: run with given inputs
+	OpAddAgent     = "ADD_AGENT"     // session: include an agent in the session
+	OpRemoveAgent  = "REMOVE_AGENT"  // session: remove an agent
+	OpEnterSession = "ENTER_SESSION" // agent signals entry into a session
+	OpExitSession  = "EXIT_SESSION"  // agent signals exit from a session
+	OpCreateStream = "CREATE_STREAM" // request creation of an output stream
+	OpPlan         = "PLAN"          // task planner -> coordinator: plan DAG
+	OpAbort        = "ABORT"         // coordinator: abort execution (budget)
+	OpReplan       = "REPLAN"        // coordinator -> planner: request replan
+	OpEOS          = "EOS"           // end of stream sentinel
+)
+
+// Directive is the structured body of a control message.
+type Directive struct {
+	// Op is one of the Op* constants (or an application-defined operation).
+	Op string `json:"op"`
+	// Agent names the target agent, when the operation addresses one.
+	Agent string `json:"agent,omitempty"`
+	// Args carries operation parameters (e.g. agent input bindings).
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Message is a single entry in a stream.
+type Message struct {
+	// ID uniquely identifies the message across all streams ("m<global seq>").
+	ID string `json:"id"`
+	// Stream is the id of the stream this message belongs to.
+	Stream string `json:"stream"`
+	// Seq is the zero-based offset of the message within its stream.
+	Seq int64 `json:"seq"`
+	// TS is a store-global logical timestamp establishing a total order
+	// across streams (used to reconstruct flows such as Figs. 9 and 10).
+	TS int64 `json:"ts"`
+	// Kind is the message class.
+	Kind Kind `json:"kind"`
+	// Tags enable selective consumption ("a message tagged SQL can trigger
+	// the SQLExecutor agent", §V-B).
+	Tags []string `json:"tags,omitempty"`
+	// Sender names the producing component.
+	Sender string `json:"sender,omitempty"`
+	// Session scopes the message to a collaborative context (§V-E).
+	Session string `json:"session,omitempty"`
+	// Param optionally names the agent output parameter that produced the
+	// payload (used by the coordinator to wire DAG edges).
+	Param string `json:"param,omitempty"`
+	// Payload is the data body. It must be JSON-serializable when WAL
+	// persistence is enabled.
+	Payload any `json:"payload,omitempty"`
+	// Directive is the control body; non-nil iff Kind == Control.
+	Directive *Directive `json:"directive,omitempty"`
+}
+
+// HasTag reports whether the message carries the given tag.
+func (m Message) HasTag(tag string) bool {
+	for _, t := range m.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// IsEOS reports whether the message is the end-of-stream sentinel.
+func (m Message) IsEOS() bool {
+	return m.Kind == Control && m.Directive != nil && m.Directive.Op == OpEOS
+}
+
+// Clone returns a shallow copy of the message with its own tag slice, so
+// consumers may not mutate shared state.
+func (m Message) Clone() Message {
+	cp := m
+	if m.Tags != nil {
+		cp.Tags = append([]string(nil), m.Tags...)
+	}
+	if m.Directive != nil {
+		d := *m.Directive
+		cp.Directive = &d
+	}
+	return cp
+}
+
+// PayloadString returns the payload rendered as a string: strings verbatim,
+// everything else via JSON encoding. It is the "straightforward renderer"
+// for simple data types mentioned in §V-B.
+func (m Message) PayloadString() string {
+	switch p := m.Payload.(type) {
+	case nil:
+		return ""
+	case string:
+		return p
+	default:
+		b, err := json.Marshal(p)
+		if err != nil {
+			return fmt.Sprintf("%v", p)
+		}
+		return string(b)
+	}
+}

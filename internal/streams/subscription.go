@@ -1,0 +1,157 @@
+package streams
+
+import "sync"
+
+// Subscription delivers matching messages to a consumer. Messages are queued
+// without bound internally and drained into C by a dedicated goroutine, so
+// producers never block on slow consumers (the store remains responsive, at
+// the cost of memory for laggards — the trade the paper's streaming database
+// makes by design).
+type Subscription struct {
+	id     int64
+	store  *Store
+	filter Filter
+
+	mu      sync.Mutex
+	pending []Message
+	cond    *sync.Cond
+	stopped bool
+
+	quitOnce sync.Once
+	quit     chan struct{}
+	ch       chan Message
+	done     chan struct{}
+}
+
+// Subscribe registers a subscription matching filter. If replay is true, all
+// existing matching messages are delivered first (in global timestamp order)
+// before live ones; otherwise only messages appended after the call are
+// delivered.
+func (s *Store) Subscribe(filter Filter, replay bool) *Subscription {
+	sub := &Subscription{
+		store:  s,
+		filter: filter,
+		ch:     make(chan Message, 256),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	sub.cond = sync.NewCond(&sub.mu)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		sub.stopped = true
+		close(sub.ch)
+		close(sub.done)
+		close(sub.quit)
+		return sub
+	}
+	s.nextSub++
+	sub.id = s.nextSub
+	var backlog []Message
+	if replay {
+		for _, id := range s.order {
+			st := s.streams[id]
+			for i := range st.msgs {
+				if filter.Matches(&st.msgs[i]) {
+					backlog = append(backlog, st.msgs[i].Clone())
+				}
+			}
+		}
+	}
+	s.subs[sub.id] = sub
+	s.mu.Unlock()
+
+	if len(backlog) > 0 {
+		sortByTS(backlog)
+		sub.mu.Lock()
+		sub.pending = append(sub.pending, backlog...)
+		sub.mu.Unlock()
+	}
+	go sub.pump()
+	return sub
+}
+
+func sortByTS(msgs []Message) {
+	for i := 1; i < len(msgs); i++ {
+		for j := i; j > 0 && msgs[j].TS < msgs[j-1].TS; j-- {
+			msgs[j], msgs[j-1] = msgs[j-1], msgs[j]
+		}
+	}
+}
+
+// C is the channel on which matching messages arrive. It is closed when the
+// subscription is cancelled or the store shuts down.
+func (sub *Subscription) C() <-chan Message { return sub.ch }
+
+// Cancel detaches the subscription from the store and closes C. Messages
+// still queued are discarded.
+func (sub *Subscription) Cancel() {
+	sub.store.mu.Lock()
+	delete(sub.store.subs, sub.id)
+	sub.store.mu.Unlock()
+	sub.stop()
+}
+
+func (sub *Subscription) enqueue(msg Message) {
+	sub.mu.Lock()
+	if sub.stopped {
+		sub.mu.Unlock()
+		return
+	}
+	sub.pending = append(sub.pending, msg)
+	sub.cond.Signal()
+	sub.mu.Unlock()
+}
+
+func (sub *Subscription) stop() {
+	sub.mu.Lock()
+	if sub.stopped {
+		sub.mu.Unlock()
+		<-sub.done
+		return
+	}
+	sub.stopped = true
+	sub.cond.Signal()
+	sub.mu.Unlock()
+	sub.quitOnce.Do(func() { close(sub.quit) })
+	<-sub.done
+}
+
+// pump moves messages from the pending queue to the channel until stopped.
+func (sub *Subscription) pump() {
+	defer close(sub.done)
+	defer close(sub.ch)
+	for {
+		sub.mu.Lock()
+		for len(sub.pending) == 0 && !sub.stopped {
+			sub.cond.Wait()
+		}
+		if sub.stopped && len(sub.pending) == 0 {
+			sub.mu.Unlock()
+			return
+		}
+		batch := sub.pending
+		sub.pending = nil
+		stopped := sub.stopped
+		sub.mu.Unlock()
+
+		for i := range batch {
+			select {
+			case sub.ch <- batch[i]:
+				sub.store.countDelivery()
+			case <-sub.quit:
+				return
+			}
+		}
+		if stopped {
+			return
+		}
+	}
+}
+
+func (s *Store) countDelivery() {
+	s.mu.Lock()
+	s.stats.Deliveries++
+	s.mu.Unlock()
+}

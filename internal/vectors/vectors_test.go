@@ -1,0 +1,345 @@
+package vectors
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Data Scientist, SF Bay-Area!", []string{"data", "scientist", "sf", "bay", "area"}},
+		{"", nil},
+		{"   ", nil},
+		{"abc123 DEF", []string{"abc123", "def"}},
+		{"a.b.c", []string{"a", "b", "c"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Tokenize(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	e := NewEmbedder(64)
+	a := e.Embed("job matching for data scientists")
+	b := e.Embed("job matching for data scientists")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("embedding not deterministic at dim %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEmbedUnitNorm(t *testing.T) {
+	e := NewEmbedder(0)
+	if e.Dim() != DefaultDim {
+		t.Fatalf("default dim = %d, want %d", e.Dim(), DefaultDim)
+	}
+	v := e.Embed("profiles of engineering candidates")
+	var sum float64
+	for _, x := range v {
+		sum += x * x
+	}
+	if math.Abs(sum-1.0) > 1e-9 {
+		t.Fatalf("embedding norm^2 = %v, want 1.0", sum)
+	}
+}
+
+func TestEmbedEmptyIsZero(t *testing.T) {
+	e := NewEmbedder(32)
+	v := e.Embed("!!! ,,,")
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("empty-token embedding non-zero at %d: %v", i, x)
+		}
+	}
+}
+
+func TestSimilarTextsScoreHigher(t *testing.T) {
+	e := NewEmbedder(256)
+	q := e.Embed("match job seekers to data scientist positions")
+	rel := e.Embed("job matcher agent: assess match quality between a job seeker profile and data scientist jobs")
+	unrel := e.Embed("content moderation guardrail filtering offensive language")
+	if Cosine(q, rel) <= Cosine(q, unrel) {
+		t.Fatalf("related score %v <= unrelated score %v", Cosine(q, rel), Cosine(q, unrel))
+	}
+}
+
+func TestEmbedWeighted(t *testing.T) {
+	e := NewEmbedder(64)
+	v := e.EmbedWeighted([]string{"job matching", "query history about matching"}, []float64{0.8, 0.2})
+	var sum float64
+	for _, x := range v {
+		sum += x * x
+	}
+	if math.Abs(sum-1.0) > 1e-9 {
+		t.Fatalf("weighted embedding norm^2 = %v, want 1", sum)
+	}
+	// Mismatched lengths yield zero vector.
+	z := e.EmbedWeighted([]string{"a"}, []float64{1, 2})
+	for _, x := range z {
+		if x != 0 {
+			t.Fatal("mismatched weights should produce zero vector")
+		}
+	}
+}
+
+func TestCosineEdgeCases(t *testing.T) {
+	if got := Cosine(nil, nil); got != 0 {
+		t.Fatalf("Cosine(nil,nil) = %v, want 0", got)
+	}
+	if got := Cosine([]float64{1, 0}, []float64{1}); got != 0 {
+		t.Fatalf("mismatched lengths = %v, want 0", got)
+	}
+	if got := Cosine([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Fatalf("zero vector = %v, want 0", got)
+	}
+	if got := Cosine([]float64{1, 2}, []float64{1, 2}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self similarity = %v, want 1", got)
+	}
+}
+
+func TestCosineSymmetryProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		for i := 0; i < n; i++ {
+			// Skip magnitudes whose squares overflow float64.
+			if math.Abs(a[i]) > 1e150 || math.Abs(b[i]) > 1e150 {
+				return true
+			}
+		}
+		x, y := Cosine(a, b), Cosine(b, a)
+		return math.Abs(x-y) < 1e-9 && x >= -1.0000001 && x <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeProperty(t *testing.T) {
+	f := func(v []float64) bool {
+		// Filter out NaN/Inf inputs which quick can generate via extremes.
+		var sum float64
+		for _, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			sum += x * x
+		}
+		if math.IsInf(sum, 0) {
+			return true
+		}
+		out := Normalize(append([]float64(nil), v...))
+		var n float64
+		for _, x := range out {
+			n += x * x
+		}
+		if sum == 0 {
+			return n == 0
+		}
+		return math.Abs(n-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexUpsertSearch(t *testing.T) {
+	e := NewEmbedder(128)
+	ix := NewIndex(128)
+	docs := map[string]string{
+		"jobmatcher": "assess match quality between job seeker profile and jobs",
+		"profiler":   "collect job seeker profile information via a UI form",
+		"moderator":  "content moderation of generated text",
+		"sqlexec":    "execute sql queries against relational databases",
+	}
+	for id, text := range docs {
+		if err := ix.Upsert(id, e.Embed(text)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ix.Len())
+	}
+	hits := ix.Search(e.Embed("assess match quality of job seeker profiles against jobs"), 2)
+	if len(hits) != 2 {
+		t.Fatalf("got %d hits, want 2", len(hits))
+	}
+	if hits[0].ID != "jobmatcher" {
+		t.Fatalf("top hit = %q, want jobmatcher (hits=%v)", hits[0].ID, hits)
+	}
+}
+
+func TestIndexUpsertReplaces(t *testing.T) {
+	e := NewEmbedder(64)
+	ix := NewIndex(64)
+	if err := ix.Upsert("a", e.Embed("first text")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Upsert("a", e.Embed("completely different replacement")); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len after replace = %d, want 1", ix.Len())
+	}
+	hits := ix.Search(e.Embed("completely different replacement"), 1)
+	if hits[0].Score < 0.99 {
+		t.Fatalf("replaced vector not searchable: %v", hits)
+	}
+}
+
+func TestIndexDelete(t *testing.T) {
+	e := NewEmbedder(64)
+	ix := NewIndex(64)
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("id%d", i)
+		if err := ix.Upsert(id, e.Embed(id+" text body")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix.Delete("id2")
+	ix.Delete("missing") // no-op
+	if ix.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ix.Len())
+	}
+	for _, h := range ix.Search(e.Embed("id2 text body"), 10) {
+		if h.ID == "id2" {
+			t.Fatal("deleted id still in results")
+		}
+	}
+}
+
+func TestIndexDimensionMismatch(t *testing.T) {
+	ix := NewIndex(8)
+	if err := ix.Upsert("x", make([]float64, 9)); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+func TestIndexSearchEmptyAndZeroK(t *testing.T) {
+	ix := NewIndex(8)
+	if hits := ix.Search(make([]float64, 8), 3); hits != nil {
+		t.Fatalf("empty index search = %v, want nil", hits)
+	}
+	_ = ix.Upsert("a", make([]float64, 8))
+	if hits := ix.Search(make([]float64, 8), 0); hits != nil {
+		t.Fatalf("k=0 search = %v, want nil", hits)
+	}
+}
+
+func TestIVFIndexRecall(t *testing.T) {
+	e := NewEmbedder(128)
+	flat := NewIndex(128)
+	ivf := NewIVFIndex(128, 8, 8) // probing all lists -> recall must match flat top-1
+	texts := make([]string, 200)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("source %d holds records about topic %d and domain %d", i, i%17, i%5)
+		id := fmt.Sprintf("s%03d", i)
+		v := e.Embed(texts[i])
+		if err := flat.Upsert(id, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := ivf.Add(id, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ivf.Train()
+	if ivf.Len() != 200 {
+		t.Fatalf("ivf Len = %d, want 200", ivf.Len())
+	}
+	match := 0
+	for i := 0; i < 50; i++ {
+		q := e.Embed(fmt.Sprintf("records about topic %d", i%17))
+		f := flat.Search(q, 1)
+		g := ivf.Search(q, 1)
+		if len(f) == 1 && len(g) == 1 && f[0].ID == g[0].ID {
+			match++
+		}
+	}
+	if match < 50 {
+		t.Fatalf("full-probe IVF recall@1 = %d/50, want 50", match)
+	}
+}
+
+func TestIVFIndexPartialProbe(t *testing.T) {
+	e := NewEmbedder(64)
+	ivf := NewIVFIndex(64, 16, 2)
+	for i := 0; i < 300; i++ {
+		if err := ivf.Add(fmt.Sprintf("v%d", i), e.Embed(fmt.Sprintf("item %d group %d", i, i%20))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ivf.Train()
+	hits := ivf.Search(e.Embed("item 5 group 5"), 5)
+	if len(hits) == 0 {
+		t.Fatal("partial probe returned no hits")
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Fatal("hits not sorted by score")
+		}
+	}
+}
+
+func TestIVFDuplicateAdd(t *testing.T) {
+	ivf := NewIVFIndex(8, 2, 1)
+	if err := ivf.Add("a", make([]float64, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ivf.Add("a", make([]float64, 8)); err == nil {
+		t.Fatal("expected duplicate id error")
+	}
+	if err := ivf.Add("b", make([]float64, 4)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestIVFAddAfterTrain(t *testing.T) {
+	e := NewEmbedder(32)
+	ivf := NewIVFIndex(32, 4, 4)
+	for i := 0; i < 20; i++ {
+		if err := ivf.Add(fmt.Sprintf("pre%d", i), e.Embed(fmt.Sprintf("item %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ivf.Train()
+	if err := ivf.Add("late", e.Embed("a very distinctive late addition")); err != nil {
+		t.Fatal(err)
+	}
+	hits := ivf.Search(e.Embed("a very distinctive late addition"), 1)
+	if len(hits) != 1 || hits[0].ID != "late" {
+		t.Fatalf("late-added vector not found: %v", hits)
+	}
+}
+
+func TestIVFUntrainedSearch(t *testing.T) {
+	ivf := NewIVFIndex(8, 2, 1)
+	_ = ivf.Add("a", make([]float64, 8))
+	if hits := ivf.Search(make([]float64, 8), 1); hits != nil {
+		t.Fatalf("untrained search = %v, want nil", hits)
+	}
+}
+
+func TestIVFEmptyTrain(t *testing.T) {
+	ivf := NewIVFIndex(8, 4, 2)
+	ivf.Train()
+	if hits := ivf.Search(make([]float64, 8), 1); hits != nil {
+		t.Fatalf("empty trained search = %v, want nil", hits)
+	}
+}

@@ -1,0 +1,226 @@
+package blueprint
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"blueprint/internal/agent"
+	"blueprint/internal/budget"
+	"blueprint/internal/coordinator"
+	"blueprint/internal/dataplan"
+	"blueprint/internal/hragents"
+	"blueprint/internal/llm"
+	"blueprint/internal/planner"
+	"blueprint/internal/registry"
+	"blueprint/internal/session"
+	"blueprint/internal/streams"
+	"blueprint/internal/trace"
+	"blueprint/internal/workload"
+)
+
+// ErrNoResponse is returned when a session request produces no display
+// output within the deadline.
+var ErrNoResponse = errors.New("blueprint: no response before deadline")
+
+// System is a fully wired blueprint instance: the streams database, both
+// registries, the planners, the optimizer-backed coordinator, the simulated
+// LLM, and the generated enterprise substrate.
+type System struct {
+	cfg Config
+
+	// Store is the streams database (§V-A).
+	Store *streams.Store
+	// AgentRegistry maps models/APIs to agents (§V-C).
+	AgentRegistry *registry.AgentRegistry
+	// DataRegistry maps enterprise data (§V-D).
+	DataRegistry *registry.DataRegistry
+	// Factory spawns agent instances from registry specs (§V-B).
+	Factory *agent.Factory
+	// Sessions manages collaborative contexts (§V-E).
+	Sessions *session.Manager
+	// TaskPlanner produces task plans (§V-F).
+	TaskPlanner *planner.TaskPlanner
+	// DataPlanner produces data plans (§V-G).
+	DataPlanner *dataplan.Planner
+	// Coordinator executes plans under budgets (§V-H).
+	Coordinator *coordinator.Coordinator
+	// Model is the simulated LLM shared by LLM-backed agents.
+	Model *llm.Model
+	// Enterprise is the generated YourJourney substrate (§II).
+	Enterprise *workload.Enterprise
+	// Suite holds the case-study agents (§VI).
+	Suite *hragents.Suite
+}
+
+// New builds a System from the configuration.
+func New(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	ent, err := workload.Build(cfg.Seed, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	model := llm.New(cfg.modelConfig(), ent.KB)
+
+	store, err := streams.Open(streams.Options{WALPath: cfg.WALPath})
+	if err != nil {
+		return nil, err
+	}
+	dataReg := registry.NewDataRegistry()
+	suite, err := hragents.NewSuite(ent, model, dataReg)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	agentReg := registry.NewAgentRegistry()
+	if err := suite.RegisterAll(agentReg); err != nil {
+		store.Close()
+		return nil, err
+	}
+	factory := agent.NewFactory(agentReg)
+	suite.InstallConstructors(factory)
+
+	tp := planner.New(agentReg, model, nil)
+	if err := agentReg.Register(planner.Spec()); err != nil {
+		store.Close()
+		return nil, err
+	}
+	factory.RegisterConstructor(planner.AgentName, func(registry.AgentSpec) agent.Processor {
+		return planner.AsAgent(tp).Process
+	})
+
+	coord := coordinator.New(store, agentReg, tp, model, coordinator.Options{RetryOnError: true})
+	sys := &System{
+		cfg:           cfg,
+		Store:         store,
+		AgentRegistry: agentReg,
+		DataRegistry:  dataReg,
+		Factory:       factory,
+		Sessions:      session.NewManager(store, factory),
+		TaskPlanner:   tp,
+		DataPlanner:   suite.DataPlanner,
+		Coordinator:   coord,
+		Model:         model,
+		Enterprise:    ent,
+		Suite:         suite,
+	}
+	return sys, nil
+}
+
+// Close shuts the system down: all sessions, then the stream store.
+func (s *System) Close() {
+	for _, id := range s.Sessions.List() {
+		if sess, err := s.Sessions.Get(id); err == nil {
+			sess.Close()
+		}
+	}
+	_ = s.Store.Close()
+}
+
+// StandardAgents is the agent set spawned into every new session.
+var StandardAgents = []string{
+	hragents.AgenticEmployer, hragents.IntentClassifier, hragents.NL2Q,
+	hragents.SQLExecutor, hragents.QuerySummarizer, hragents.Summarizer,
+	hragents.Ranker, hragents.Profiler, hragents.JobMatcher,
+	hragents.Presenter, hragents.Advisor,
+}
+
+// Session is a live conversational session: the case-study agents listening
+// on its streams plus a coordinator service executing emitted plans.
+type Session struct {
+	*session.Session
+	sys *System
+	svc *coordinator.Service
+}
+
+// StartSession opens a session (auto-named when id is empty), spawns the
+// standard agents and starts the coordinator service.
+func (s *System) StartSession(id string) (*Session, error) {
+	base, err := s.Sessions.Create(id)
+	if err != nil {
+		return nil, err
+	}
+	if !s.cfg.DisableStandardAgents {
+		for _, name := range StandardAgents {
+			if _, err := base.SpawnAgent(name, agent.Options{}); err != nil {
+				base.Close()
+				return nil, fmt.Errorf("blueprint: spawning %s: %w", name, err)
+			}
+		}
+	}
+	svc := s.Coordinator.Serve(base.ID, s.cfg.Budget)
+	svc.WatchPlans()
+	return &Session{Session: base, sys: s, svc: svc}, nil
+}
+
+// Close stops the coordinator service and the underlying session.
+func (sess *Session) Close() {
+	sess.svc.Stop()
+	sess.Session.Close()
+}
+
+// Ask posts a user utterance and waits for the next display output,
+// returning it. The architecture is fully asynchronous; Ask is the
+// convenience wrapper for request/response usage.
+func (sess *Session) Ask(text string, timeout time.Duration) (string, error) {
+	before := len(sess.Display())
+	if _, err := sess.PostUserText(text); err != nil {
+		return "", err
+	}
+	return sess.awaitDisplay(before, "", timeout)
+}
+
+// Click posts a UI event (e.g. selecting a job) and waits for the resulting
+// display output (Fig. 9).
+func (sess *Session) Click(event map[string]any, timeout time.Duration) (string, error) {
+	before := len(sess.Display())
+	if _, err := sess.PostUserEvent(event); err != nil {
+		return "", err
+	}
+	return sess.awaitDisplay(before, "", timeout)
+}
+
+// awaitDisplay waits for a display message beyond index `from` containing
+// substr (empty matches anything).
+func (sess *Session) awaitDisplay(from int, substr string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		display := sess.Display()
+		for i := from; i < len(display); i++ {
+			if substr == "" || strings.Contains(display[i], substr) {
+				return display[i], nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("%w (%s)", ErrNoResponse, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// ExecuteUtterance runs the full §V pipeline synchronously: plan the
+// utterance with the task planner, then execute the plan with the
+// coordinator under a fresh budget. It returns the coordinator result (and
+// the plan used).
+func (sess *Session) ExecuteUtterance(text string) (*coordinator.Result, *planner.Plan, error) {
+	p, err := sess.sys.TaskPlanner.Plan(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	b := budget.New(sess.sys.cfg.Budget)
+	res, err := sess.sys.Coordinator.ExecutePlan(sess.ID, p, b)
+	return res, p, err
+}
+
+// Flow returns the session's observed message flow (for debugging and the
+// Fig. 9/10 verifications).
+func (sess *Session) Flow() []trace.Step {
+	return trace.Flow(sess.Store(), sess.ID)
+}
+
+// PlanResults returns the results of plans executed by the session's
+// coordinator service.
+func (sess *Session) PlanResults() []*coordinator.Result {
+	return sess.svc.Results()
+}
