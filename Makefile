@@ -1,0 +1,34 @@
+# Build, verify and bench targets. `make ci` is what the GitHub Actions
+# workflow runs on every push: formatting, vet, build, and the full test
+# suite under the race detector.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt-check bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Relational-engine benchmarks, including the statement-cache comparison
+# (BenchmarkPointQueryUncached vs Cached/Prepared).
+bench:
+	$(GO) test ./internal/relational/ -run XXX -bench . -benchmem
+
+ci: fmt-check vet build race

@@ -14,6 +14,23 @@
 //	defer sys.Close()
 //	s, _ := sys.StartSession("")
 //	answer, _ := s.Ask("How many jobs are in San Francisco?", 5*time.Second)
+//
+// # Relational hot path and the statement cache
+//
+// The embedded relational engine (internal/relational) backs every
+// NLQ->SQL and data-plan turn, so its fixed per-query costs are the
+// system's hottest path. The engine amortizes lexing and parsing with a
+// bounded, concurrency-safe LRU statement cache consulted transparently by
+// DB.Query and DB.Exec; DB.Prepare returns an explicit reusable *Stmt for
+// templated queries (the agent suite prepares its fixed SQL once per
+// session). Any DDL — CREATE/DROP TABLE, CREATE INDEX — flushes the cache
+// so no stale plan survives a schema change. Effectiveness is observable:
+// DB.CacheStats reports hits, misses, evictions, invalidations and the hit
+// rate, and `go run ./cmd/benchharness -fig A4` prints the cached versus
+// re-parse throughput of the agent-suite query mix together with those
+// counters ("hits", "misses", "hit_rate"). The relational benchmarks
+// (`make bench`, BenchmarkPointQueryUncached/Cached/Prepared) measure the
+// same amortization per query.
 package blueprint
 
 import (

@@ -3,7 +3,8 @@
 // Usage:
 //
 //	benchharness              # run all experiments
-//	benchharness -fig F7      # run one (F1..F10, A1..A3)
+//	benchharness -fig F7      # run one (F1..F10, A1..A4)
+//	benchharness -fig A4      # plan-cache ablation (statement-cache hit/miss counters)
 //	benchharness -seed 7      # change the deterministic seed
 package main
 
@@ -17,7 +18,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment id to run (F1..F10, A1..A3, or 'all')")
+	fig := flag.String("fig", "all", "experiment id to run (F1..F10, A1..A4, or 'all')")
 	seed := flag.Int64("seed", 42, "deterministic seed for workloads and the simulated LLM")
 	flag.Parse()
 
@@ -35,6 +36,7 @@ func main() {
 		"A1":  experiments.AblationBudget,
 		"A2":  experiments.AblationOptimizer,
 		"A3":  experiments.AblationStreams,
+		"A4":  experiments.AblationPlanCache,
 	}
 
 	if strings.EqualFold(*fig, "all") {
@@ -49,7 +51,7 @@ func main() {
 	}
 	run, ok := runners[strings.ToUpper(*fig)]
 	if !ok {
-		log.Fatalf("unknown experiment %q (want F1..F10, A1..A3, all)", *fig)
+		log.Fatalf("unknown experiment %q (want F1..F10, A1..A4, all)", *fig)
 	}
 	t, err := run(*seed)
 	if err != nil {

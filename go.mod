@@ -1,0 +1,3 @@
+module blueprint
+
+go 1.24.0

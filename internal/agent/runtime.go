@@ -49,7 +49,8 @@ type Instance struct {
 	opts    Options
 	petri   *petriNet
 	sem     chan struct{}
-	wg      sync.WaitGroup
+	wg      sync.WaitGroup // in-flight worker invocations
+	loopWg  sync.WaitGroup // control/data loop goroutines
 	dataSub *streams.Subscription
 	ctrlSub *streams.Subscription
 
@@ -109,7 +110,11 @@ func Attach(store *streams.Store, session string, a *Agent, opts Options) (*Inst
 		Session: session,
 		Kinds:   []streams.Kind{streams.Control},
 	}, false)
-	go inst.controlLoop()
+	inst.loopWg.Add(1)
+	go func() {
+		defer inst.loopWg.Done()
+		inst.controlLoop()
+	}()
 
 	// Decentralized activation requires *designated* tags (§V-B): an agent
 	// with no inclusion rule is centrally activated only, unless it opts
@@ -126,7 +131,11 @@ func Attach(store *streams.Store, session string, a *Agent, opts Options) (*Inst
 			ExcludeTags:    a.Spec.Listen.ExcludeTags,
 			ExcludeSenders: []string{a.Spec.Name},
 		}, false)
-		go inst.dataLoop()
+		inst.loopWg.Add(1)
+		go func() {
+			defer inst.loopWg.Done()
+			inst.dataLoop()
+		}()
 	}
 	return inst, nil
 }
@@ -157,6 +166,9 @@ func (in *Instance) Stop() {
 			in.dataSub.Cancel()
 		}
 		in.ctrlSub.Cancel()
+		// Wait for the loop goroutines first: they are the only dispatchers,
+		// so once they exit no new wg.Add can race with wg.Wait below.
+		in.loopWg.Wait()
 		in.wg.Wait()
 		// Best-effort exit signal; the store may already be closed.
 		_, _ = in.store.Append(streams.Message{

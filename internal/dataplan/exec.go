@@ -40,7 +40,10 @@ type Executor struct {
 	src Sources
 }
 
-// NewExecutor creates an executor.
+// NewExecutor creates an executor. Data-plan SQL is highly repetitive per
+// session (the same templated point and IN-list queries fire on every
+// turn); DB.Query serves repeats from the engine's statement cache, so the
+// parse cost is paid once per text.
 func NewExecutor(src Sources) *Executor {
 	return &Executor{src: src}
 }
@@ -300,7 +303,7 @@ func (e *Executor) run(n Node, values map[string]any) (any, Estimate, error) {
 				text += " " + strings.Join(v, ", ")
 			case []map[string]any:
 				for _, row := range v {
-					text += " " + fmt.Sprintf("%v", row)
+					text += " " + nlq.FormatRow(row)
 				}
 			}
 		}

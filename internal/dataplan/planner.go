@@ -50,6 +50,8 @@ func BuildTarget(db *relational.DB, table string) (nlq.Target, error) {
 			tgt.NumericColumns = append(tgt.NumericColumns, c.Name)
 		case relational.TString:
 			tgt.TextColumns = append(tgt.TextColumns, c.Name)
+			// BuildTarget runs on every NL2Q turn with the same per-table
+			// texts; the statement cache amortizes their parse.
 			res, err := db.Query(fmt.Sprintf("SELECT DISTINCT %s FROM %s LIMIT 64", c.Name, info.Name))
 			if err == nil {
 				for _, row := range res.Rows {

@@ -26,7 +26,7 @@ type Row struct {
 
 // Table is one experiment's result.
 type Table struct {
-	ID    string // "F1".."F10", "A1".."A3"
+	ID    string // "F1".."F10", "A1".."A4"
 	Title string
 	Rows  []Row
 	Notes []string
@@ -76,6 +76,7 @@ func All(seed int64) ([]*Table, error) {
 		{"A1", AblationBudget},
 		{"A2", AblationOptimizer},
 		{"A3", AblationStreams},
+		{"A4", AblationPlanCache},
 	}
 	out := make([]*Table, 0, len(exps))
 	for _, e := range exps {

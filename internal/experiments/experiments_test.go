@@ -17,8 +17,8 @@ func TestAllExperimentsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 13 {
-		t.Fatalf("tables = %d, want 13", len(tables))
+	if len(tables) != 14 {
+		t.Fatalf("tables = %d, want 14", len(tables))
 	}
 	byID := map[string]*Table{}
 	for _, tb := range tables {
@@ -97,6 +97,22 @@ func TestAllExperimentsRun(t *testing.T) {
 	}
 	if chosen["plan cheapest"] != "direct" || chosen["plan accuracy-first"] != "decomposed" {
 		t.Errorf("plan choices = %v", chosen)
+	}
+
+	// A4: both phases ran the full mix and the cached phase observed a
+	// near-perfect statement-cache hit rate (4 texts, 2000 queries).
+	a4 := map[string]map[string]string{}
+	for _, r := range byID["A4"].Rows {
+		a4[r.Series] = map[string]string{}
+		for _, m := range r.Metrics {
+			a4[r.Series][m.Name] = m.Value
+		}
+	}
+	if a4["uncached"]["queries"] != "2000" || a4["cached"]["queries"] != "2000" {
+		t.Errorf("A4 query counts = %v", a4)
+	}
+	if a4["cached"]["hits"] != "1996" || a4["cached"]["misses"] != "4" {
+		t.Errorf("A4 cache counters = %v", a4["cached"])
 	}
 }
 

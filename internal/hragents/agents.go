@@ -246,6 +246,8 @@ func (s *Suite) sqlExecutorSpec() registry.AgentSpec {
 func (s *Suite) sqlExecutorProc() agent.Processor {
 	return func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
 		sql, _ := inv.Inputs["SQL"].(string)
+		// NL2Q output is templated per session: Query serves the parse from
+		// the statement cache on repeat questions.
 		res, err := s.Ent.DB.Query(sql)
 		if err != nil {
 			return agent.Outputs{}, err
@@ -292,7 +294,11 @@ func (s *Suite) querySummarizerProc() agent.Processor {
 				fmt.Fprintf(&b, " (and %d more)", len(rows)-5)
 				break
 			}
-			fmt.Fprintf(&b, " %v.", r)
+			if m, ok := r.(map[string]any); ok {
+				fmt.Fprintf(&b, " %s.", nlq.FormatRow(m))
+			} else {
+				fmt.Fprintf(&b, " %s.", nlq.FormatValue(r))
+			}
 		}
 		summary, usage := s.Model.Summarize(b.String(), 60)
 		return agent.Outputs{
@@ -319,14 +325,14 @@ func (s *Suite) summarizerSpec() registry.AgentSpec {
 func (s *Suite) summarizerProc() agent.Processor {
 	return func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
 		id := asInt(inv.Inputs["JOB_ID"])
-		job, err := s.Ent.DB.Query(`SELECT title, city, salary FROM jobs WHERE id = ?`, id)
+		job, err := s.stmtJobSummary.Query(id)
 		if err != nil {
 			return agent.Outputs{}, err
 		}
 		if len(job.Rows) == 0 {
 			return agent.Outputs{}, fmt.Errorf("summarizer: job %d not found", id)
 		}
-		apps, err := s.Ent.DB.Query(`SELECT status, COUNT(*) AS n FROM applications WHERE job_id = ? GROUP BY status ORDER BY status`, id)
+		apps, err := s.stmtAppsByJob.Query(id)
 		if err != nil {
 			return agent.Outputs{}, err
 		}
@@ -526,8 +532,7 @@ func (s *Suite) rankerSpec() registry.AgentSpec {
 func (s *Suite) rankerProc() agent.Processor {
 	return func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
 		id := asInt(inv.Inputs["JOB_ID"])
-		res, err := s.Ent.DB.Query(
-			`SELECT profile_id, status, score, years FROM applications WHERE job_id = ? ORDER BY score DESC LIMIT 10`, id)
+		res, err := s.stmtTopApps.Query(id)
 		if err != nil {
 			return agent.Outputs{}, err
 		}
@@ -601,5 +606,5 @@ func (s *Suite) moderatorProc() agent.Processor {
 
 // queryJobByID is a shared helper for examples and tests.
 func (s *Suite) queryJobByID(id int) (*relational.Result, error) {
-	return s.Ent.DB.Query(`SELECT * FROM jobs WHERE id = ?`, id)
+	return s.stmtJobByID.Query(id)
 }

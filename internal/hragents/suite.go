@@ -9,6 +9,7 @@
 package hragents
 
 import (
+	"fmt"
 	"time"
 
 	"blueprint/internal/agent"
@@ -16,6 +17,7 @@ import (
 	"blueprint/internal/graphstore"
 	"blueprint/internal/llm"
 	"blueprint/internal/registry"
+	"blueprint/internal/relational"
 	"blueprint/internal/workload"
 )
 
@@ -54,6 +56,14 @@ type Suite struct {
 	// invoking the data planner to find and query data sources).
 	DataPlanner *dataplan.Planner
 	exec        *dataplan.Executor
+
+	// Prepared statements for the suite's templated queries: each agent
+	// turn reuses the same SQL shapes, so the parse is paid once here and
+	// every invocation runs straight from the plan.
+	stmtJobSummary *relational.Stmt // job header for the Summarizer
+	stmtAppsByJob  *relational.Stmt // application status histogram
+	stmtTopApps    *relational.Stmt // Ranker's score-ordered applicants
+	stmtJobByID    *relational.Stmt // full job row
 }
 
 // NewSuite wires the suite over a generated enterprise. The data registry is
@@ -90,7 +100,31 @@ func NewSuite(ent *workload.Enterprise, model *llm.Model, dataReg *registry.Data
 		Graphs:     map[string]*graphstore.Graph{"taxonomy": ent.Graph},
 		Model:      model,
 	})
+	if err := s.prepareStatements(); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// prepareStatements parses the suite's fixed query templates once.
+func (s *Suite) prepareStatements() error {
+	var err error
+	prepare := func(sql string) *relational.Stmt {
+		if err != nil {
+			return nil
+		}
+		var st *relational.Stmt
+		st, err = s.Ent.DB.Prepare(sql)
+		return st
+	}
+	s.stmtJobSummary = prepare(`SELECT title, city, salary FROM jobs WHERE id = ?`)
+	s.stmtAppsByJob = prepare(`SELECT status, COUNT(*) AS n FROM applications WHERE job_id = ? GROUP BY status ORDER BY status`)
+	s.stmtTopApps = prepare(`SELECT profile_id, status, score, years FROM applications WHERE job_id = ? ORDER BY score DESC LIMIT 10`)
+	s.stmtJobByID = prepare(`SELECT * FROM jobs WHERE id = ?`)
+	if err != nil {
+		return fmt.Errorf("hragents: preparing suite statements: %w", err)
+	}
+	return nil
 }
 
 // Specs returns every case-study agent spec.

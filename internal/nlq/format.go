@@ -1,0 +1,53 @@
+package nlq
+
+// NL answer formatting: query results flow into user-facing summaries
+// through fmt's %v by default, which renders float aggregates with full
+// precision ("avg_salary:185333.33333333334"). These helpers render rows
+// for prose: floats to two decimals, keys in stable sorted order. They only
+// affect display strings — the underlying result values keep full precision.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FormatValue renders one value for an NL answer. Floats are rounded to two
+// decimal places (dropping the decimals entirely when they round to .00);
+// everything else renders as %v.
+func FormatValue(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return formatFloat(x)
+	case float32:
+		return formatFloat(float64(x))
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+func formatFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'f', 2, 64)
+	return strings.TrimSuffix(s, ".00")
+}
+
+// FormatRow renders a column->value map as "col: val, col: val" with sorted
+// keys, suitable for embedding query rows in summary prose.
+func FormatRow(row map[string]any) string {
+	keys := make([]string, 0, len(row))
+	for k := range row {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(k)
+		b.WriteString(": ")
+		b.WriteString(FormatValue(row[k]))
+	}
+	return b.String()
+}

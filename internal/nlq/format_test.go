@@ -1,0 +1,38 @@
+package nlq
+
+import "testing"
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{185333.33333333334, "185333.33"},
+		{165666.66666666666, "165666.67"},
+		{148750.0, "148750"},
+		{float32(2.5), "2.50"},
+		{int64(42), "42"},
+		{"Oakland", "Oakland"},
+		{true, "true"},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.in); got != c.want {
+			t.Errorf("FormatValue(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatRow(t *testing.T) {
+	row := map[string]any{
+		"city":       "San Diego",
+		"avg_salary": 185333.33333333334,
+		"n":          int64(3),
+	}
+	want := "avg_salary: 185333.33, city: San Diego, n: 3"
+	if got := FormatRow(row); got != want {
+		t.Errorf("FormatRow = %q, want %q", got, want)
+	}
+	if got := FormatRow(nil); got != "" {
+		t.Errorf("FormatRow(nil) = %q, want empty", got)
+	}
+}

@@ -101,6 +101,81 @@ func BenchmarkHashJoin(b *testing.B) {
 	}
 }
 
+// benchIDIndexedDB builds a jobs table with a hash index on id so point
+// queries isolate the parse-versus-execute split the statement cache
+// amortizes.
+func benchIDIndexedDB(b *testing.B, rows int) *DB {
+	b.Helper()
+	db := benchDB(b, rows, false)
+	if _, err := db.Exec(`CREATE INDEX iid ON jobs (id)`); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+const pointQuery = `SELECT title FROM jobs WHERE id = ? LIMIT 1`
+
+// BenchmarkPointQueryUncached is the re-parse baseline: every call lexes and
+// parses the SQL text again (statement cache disabled).
+func BenchmarkPointQueryUncached(b *testing.B) {
+	db := benchIDIndexedDB(b, 5000)
+	db.SetStmtCacheCapacity(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(pointQuery, i%5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPointQueryCached exercises the transparent statement cache that
+// Query consults by default.
+func BenchmarkPointQueryCached(b *testing.B) {
+	db := benchIDIndexedDB(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(pointQuery, i%5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	stats := db.CacheStats()
+	b.ReportMetric(stats.HitRate()*100, "hit%")
+}
+
+// BenchmarkPointQueryPrepared uses the explicit prepared-statement handle:
+// parse once, execute b.N times.
+func BenchmarkPointQueryPrepared(b *testing.B) {
+	db := benchIDIndexedDB(b, 5000)
+	st, err := db.Prepare(pointQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Query(i % 5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInsertUncached is the re-parse baseline for BenchmarkInsert
+// (which runs with the default statement cache): together they measure the
+// DML write path with and without parse amortization.
+func BenchmarkInsertUncached(b *testing.B) {
+	db := NewDB()
+	if _, err := db.Exec(`CREATE TABLE t (a INT, s TEXT)`); err != nil {
+		b.Fatal(err)
+	}
+	db.SetStmtCacheCapacity(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(`INSERT INTO t VALUES (?, ?)`, i, "payload"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkParseSelect(b *testing.B) {
 	const q = `SELECT city, COUNT(*) AS n, AVG(salary) FROM jobs WHERE salary > 100000 AND title LIKE '%data%' GROUP BY city ORDER BY n DESC LIMIT 10`
 	b.ResetTimer()

@@ -73,9 +73,11 @@ func (r *Result) Maps() []map[string]any {
 }
 
 // Query parses and executes sql with optional positional parameters bound to
-// '?' placeholders.
+// '?' placeholders. Parsed statements are served from the DB's bounded LRU
+// statement cache, so repeated texts skip the lexer and parser entirely;
+// use Prepare for an explicit reusable handle.
 func (db *DB) Query(sql string, params ...any) (*Result, error) {
-	st, err := Parse(sql)
+	st, err := db.parseCached(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -83,9 +85,10 @@ func (db *DB) Query(sql string, params ...any) (*Result, error) {
 }
 
 // Exec runs a statement that does not produce rows (INSERT, UPDATE, DELETE,
-// CREATE, DROP) and reports the number of affected rows.
+// CREATE, DROP) and reports the number of affected rows. Like Query, it
+// consults the statement cache.
 func (db *DB) Exec(sql string, params ...any) (int, error) {
-	st, err := Parse(sql)
+	st, err := db.parseCached(sql)
 	if err != nil {
 		return 0, err
 	}
@@ -93,10 +96,16 @@ func (db *DB) Exec(sql string, params ...any) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	return affectedCount(res), nil
+}
+
+// affectedCount extracts the affected-row count from an exec-style result,
+// falling back to the row count for row-producing statements.
+func affectedCount(res *Result) int {
 	if len(res.Columns) == 1 && res.Columns[0] == "affected" && len(res.Rows) == 1 {
-		return int(res.Rows[0][0].I), nil
+		return int(res.Rows[0][0].I)
 	}
-	return len(res.Rows), nil
+	return len(res.Rows)
 }
 
 // Run executes a parsed statement.
@@ -462,7 +471,9 @@ func (t *table) planAccess(baseName string, where Expr, params []Value) accessPa
 			switch x.Op {
 			case "=":
 				ids := ix.lookupEqLocked(v)
-				consider(candidate{rank: 0, desc: fmt.Sprintf("IndexScan(%s.%s = %s, %s)", t.name, ix.column, v, ix.kind), ids: ids})
+				// Concatenation instead of fmt.Sprintf: this is the hot
+				// equality path and Sprintf's reflection is measurable there.
+				consider(candidate{rank: 0, desc: "IndexScan(" + t.name + "." + ix.column + " = " + v.String() + ", " + ix.kind.String() + ")", ids: ids})
 			case "<", "<=":
 				if ix.kind == OrderedIndex {
 					ids := ix.order.lookupRange(Null, v, false, x.Op == "<")

@@ -117,11 +117,17 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*table
 	order  []string
+	// stmts amortizes lexing/parsing across repeated Query/Exec/Prepare
+	// calls; DDL flushes it (see stmt.go).
+	stmts *stmtCache
 }
 
 // NewDB creates an empty database.
 func NewDB() *DB {
-	return &DB{tables: make(map[string]*table)}
+	return &DB{
+		tables: make(map[string]*table),
+		stmts:  newStmtCache(DefaultStmtCacheCapacity),
+	}
 }
 
 // CreateTable registers a new table with the given schema.
@@ -145,6 +151,7 @@ func (db *DB) CreateTable(name string, schema Schema) error {
 	}
 	db.tables[key] = &table{name: name, schema: schema, indexes: make(map[string]*indexDef)}
 	db.order = append(db.order, key)
+	db.stmts.invalidate()
 	return nil
 }
 
@@ -163,6 +170,7 @@ func (db *DB) DropTable(name string) error {
 			break
 		}
 	}
+	db.stmts.invalidate()
 	return nil
 }
 
@@ -313,6 +321,7 @@ func (db *DB) CreateIndex(idxName, tableName, column string, kind IndexKind) err
 		}
 	}
 	t.indexes[key] = ix
+	db.stmts.invalidate()
 	return nil
 }
 

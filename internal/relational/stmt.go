@@ -1,0 +1,235 @@
+package relational
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultStmtCacheCapacity is the statement-cache size a new DB starts with.
+// 256 distinct SQL texts comfortably covers the templated hot paths of the
+// blueprint (NL2Q output, data-plan operators, agent queries) while bounding
+// memory for adversarial workloads.
+const DefaultStmtCacheCapacity = 256
+
+// Stmt is a prepared statement: a parsed, reusable form of one SQL text.
+// Preparing once and executing many times amortizes lexing and parsing, the
+// dominant fixed cost of short queries. A Stmt is immutable after Prepare
+// and safe for concurrent use by multiple goroutines; schema resolution
+// happens at execution time, so a Stmt held across DDL keeps working (it
+// simply sees the new schema, or fails if its table is gone).
+type Stmt struct {
+	db  *DB
+	sql string
+	st  Statement
+}
+
+// Prepare parses sql once and returns a reusable statement. The parse is
+// served from (and populates) the DB's statement cache, so repeated Prepare
+// calls for the same text are cheap.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	st, err := db.parseCached(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, sql: sql, st: st}, nil
+}
+
+// SQL returns the statement's original text.
+func (s *Stmt) SQL() string { return s.sql }
+
+// Query executes the prepared statement with optional positional parameters
+// bound to '?' placeholders.
+func (s *Stmt) Query(params ...any) (*Result, error) {
+	return s.db.Run(s.st, params...)
+}
+
+// Exec executes the prepared statement and reports the number of affected
+// rows, mirroring DB.Exec.
+func (s *Stmt) Exec(params ...any) (int, error) {
+	res, err := s.db.Run(s.st, params...)
+	if err != nil {
+		return 0, err
+	}
+	return affectedCount(res), nil
+}
+
+// CacheStats reports statement-cache effectiveness counters.
+type CacheStats struct {
+	// Hits counts lookups served from the cache (parse skipped).
+	Hits uint64
+	// Misses counts lookups that had to parse.
+	Misses uint64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64
+	// Invalidations counts whole-cache flushes triggered by DDL.
+	Invalidations uint64
+	// Size is the current number of cached statements.
+	Size int
+	// Capacity is the configured bound (0 = caching disabled).
+	Capacity int
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 when no lookups happened.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// CacheStats returns a snapshot of the DB's statement-cache counters.
+func (db *DB) CacheStats() CacheStats { return db.stmts.snapshot() }
+
+// ResetCacheStats zeroes the hit/miss/eviction/invalidation counters without
+// dropping cached statements, so callers can meter one workload phase.
+func (db *DB) ResetCacheStats() { db.stmts.resetStats() }
+
+// SetStmtCacheCapacity rebounds the statement cache. Shrinking evicts
+// least-recently-used entries; 0 disables caching entirely (every Query,
+// Exec and Prepare re-parses).
+func (db *DB) SetStmtCacheCapacity(n int) { db.stmts.setCapacity(n) }
+
+// parseCached returns the parsed form of sql, consulting the statement
+// cache first. Only DML/query statements are cached: DDL is rare, and
+// executing it flushes the cache anyway.
+func (db *DB) parseCached(sql string) (Statement, error) {
+	if st, ok := db.stmts.lookup(sql); ok {
+		return st, nil
+	}
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if cacheableStmt(st) {
+		db.stmts.insert(sql, st)
+	}
+	return st, nil
+}
+
+// cacheableStmt reports whether a statement kind is worth caching.
+func cacheableStmt(st Statement) bool {
+	switch st.(type) {
+	case *SelectStmt, *InsertStmt, *UpdateStmt, *DeleteStmt:
+		return true
+	default:
+		return false
+	}
+}
+
+// stmtCache is a concurrency-safe bounded LRU of parsed statements keyed by
+// SQL text. Executing any DDL (CREATE/DROP TABLE, CREATE INDEX) flushes it:
+// parsed plans are cheap to rebuild and correctness beats cleverness on the
+// invalidation path.
+type stmtCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits          uint64
+	misses        uint64
+	evictions     uint64
+	invalidations uint64
+}
+
+type stmtEntry struct {
+	sql string
+	st  Statement
+}
+
+func newStmtCache(capacity int) *stmtCache {
+	return &stmtCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+func (c *stmtCache) lookup(sql string) (Statement, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[sql]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*stmtEntry).st, true
+	}
+	c.misses++
+	return nil, false
+}
+
+func (c *stmtCache) insert(sql string, st Statement) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.entries[sql]; ok {
+		// Lost a race with another goroutine parsing the same text; keep
+		// the resident entry.
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&stmtEntry{sql: sql, st: st})
+	c.entries[sql] = el
+	for c.ll.Len() > c.cap {
+		c.evictOldestLocked()
+	}
+}
+
+func (c *stmtCache) evictOldestLocked() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	c.ll.Remove(el)
+	delete(c.entries, el.Value.(*stmtEntry).sql)
+	c.evictions++
+}
+
+// invalidate flushes every cached statement (called after successful DDL).
+func (c *stmtCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) > 0 {
+		c.ll.Init()
+		c.entries = make(map[string]*list.Element)
+	}
+	c.invalidations++
+}
+
+func (c *stmtCache) setCapacity(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.cap = n
+	if n == 0 {
+		c.ll.Init()
+		c.entries = make(map[string]*list.Element)
+		return
+	}
+	for c.ll.Len() > n {
+		c.evictOldestLocked()
+	}
+}
+
+func (c *stmtCache) snapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Size:          c.ll.Len(),
+		Capacity:      c.cap,
+	}
+}
+
+func (c *stmtCache) resetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses, c.evictions, c.invalidations = 0, 0, 0, 0
+}
