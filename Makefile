@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench ci
+.PHONY: all build test race vet fmt-check bench bench-smoke ci
 
 all: build
 
@@ -31,4 +31,10 @@ fmt-check:
 bench:
 	$(GO) test ./internal/relational/ -run XXX -bench . -benchmem
 
-ci: fmt-check vet build race
+# Scheduler smoke run: regenerates the A5 table (concurrent DAG scheduler
+# fan-out speedup + multi-session throughput) in short mode. CI runs this on
+# every push so scheduler regressions surface immediately.
+bench-smoke:
+	$(GO) run ./cmd/benchharness -fig A5 -short
+
+ci: fmt-check vet build race bench-smoke

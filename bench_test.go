@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -296,6 +297,43 @@ func BenchmarkFig10_OpenQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkAblation_MultiSessionAsk measures 4 sessions asking concurrently
+// through the event-driven display pipeline (A5): with subscription-driven
+// waits (no sleep polling) the wall-clock per round approaches the slowest
+// single session, not the sum.
+func BenchmarkAblation_MultiSessionAsk(b *testing.B) {
+	sys, err := blueprint.New(blueprint.Config{ModelAccuracy: 1.0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Close)
+	const sessions = 4
+	ss := make([]*blueprint.Session, sessions)
+	for i := range ss {
+		s, err := sys.StartSession("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(s.Close)
+		ss[i] = s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, s := range ss {
+			wg.Add(1)
+			go func(s *blueprint.Session) {
+				defer wg.Done()
+				if _, err := s.Ask("How many jobs are in San Francisco?", 30*time.Second); err != nil {
+					b.Error(err)
+				}
+			}(s)
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(sessions), "asks/op")
 }
 
 // BenchmarkAblation_BudgetCharge measures one budget charge+check (§V-H).

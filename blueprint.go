@@ -23,8 +23,10 @@
 // bounded, concurrency-safe LRU statement cache consulted transparently by
 // DB.Query and DB.Exec; DB.Prepare returns an explicit reusable *Stmt for
 // templated queries (the agent suite prepares its fixed SQL once per
-// session). Any DDL — CREATE/DROP TABLE, CREATE INDEX — flushes the cache
-// so no stale plan survives a schema change. Effectiveness is observable:
+// session). Any DDL — CREATE/DROP TABLE, CREATE INDEX — flushes the cached
+// statements referencing the altered table (other tables' statements stay
+// resident), so no stale plan survives a schema change. Effectiveness is
+// observable:
 // DB.CacheStats reports hits, misses, evictions, invalidations and the hit
 // rate, and `go run ./cmd/benchharness -fig A4` prints the cached versus
 // re-parse throughput of the agent-suite query mix together with those

@@ -3,9 +3,11 @@
 // Usage:
 //
 //	benchharness              # run all experiments
-//	benchharness -fig F7      # run one (F1..F10, A1..A4)
+//	benchharness -fig F7      # run one (F1..F10, A1..A5)
 //	benchharness -fig A4      # plan-cache ablation (statement-cache hit/miss counters)
+//	benchharness -fig A5      # concurrent DAG scheduler: fan-out speedup + multi-session throughput
 //	benchharness -seed 7      # change the deterministic seed
+//	benchharness -short       # reduced iterations/latencies (smoke mode, used by make bench-smoke)
 package main
 
 import (
@@ -18,9 +20,11 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment id to run (F1..F10, A1..A4, or 'all')")
+	fig := flag.String("fig", "all", "experiment id to run (F1..F10, A1..A5, or 'all')")
 	seed := flag.Int64("seed", 42, "deterministic seed for workloads and the simulated LLM")
+	short := flag.Bool("short", false, "smoke mode: reduced iterations and simulated latencies")
 	flag.Parse()
+	experiments.Short = *short
 
 	runners := map[string]func(int64) (*experiments.Table, error){
 		"F1":  experiments.Fig1EndToEnd,
@@ -37,6 +41,7 @@ func main() {
 		"A2":  experiments.AblationOptimizer,
 		"A3":  experiments.AblationStreams,
 		"A4":  experiments.AblationPlanCache,
+		"A5":  experiments.AblationScheduler,
 	}
 
 	if strings.EqualFold(*fig, "all") {
@@ -51,7 +56,7 @@ func main() {
 	}
 	run, ok := runners[strings.ToUpper(*fig)]
 	if !ok {
-		log.Fatalf("unknown experiment %q (want F1..F10, A1..A4, all)", *fig)
+		log.Fatalf("unknown experiment %q (want F1..F10, A1..A5, all)", *fig)
 	}
 	t, err := run(*seed)
 	if err != nil {

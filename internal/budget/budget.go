@@ -15,7 +15,13 @@ import (
 type Limits struct {
 	// MaxCost in dollars (0 = unlimited).
 	MaxCost float64
-	// MaxLatency caps accumulated execution latency (0 = unlimited).
+	// MaxLatency caps the execution latency charged to the budget
+	// (0 = unlimited). Under the coordinator's concurrent scheduler each
+	// step charges its marginal growth of the plan's critical path over
+	// actual step latencies, so the dimension tracks end-to-end plan
+	// latency: overlapping parallel steps do not double-count, and the
+	// optimizer's critical-path projection and the actual enforcement
+	// agree in units.
 	MaxLatency time.Duration
 	// MinAccuracy is the lowest acceptable running accuracy estimate
 	// (0 = don't care).
@@ -49,16 +55,21 @@ func (v Violation) String() string {
 }
 
 // Budget tracks actuals against limits. All methods are safe for concurrent
-// use.
+// use. With the concurrent scheduler, several steps charge one budget in
+// parallel; the Reserve/Commit path makes the admission check atomic, so two
+// in-flight steps cannot each pass a WouldExceed-style check and then
+// jointly overshoot the limit.
 type Budget struct {
-	mu         sync.Mutex
-	limits     Limits
-	cost       float64
-	latency    time.Duration
-	accSum     float64
-	accWeight  float64
-	charges    int
-	violations []Violation
+	mu              sync.Mutex
+	limits          Limits
+	cost            float64
+	latency         time.Duration
+	reservedCost    float64
+	reservedLatency time.Duration
+	accSum          float64
+	accWeight       float64
+	charges         int
+	violations      []Violation
 }
 
 // New creates a budget with the given limits.
@@ -79,6 +90,10 @@ func (b *Budget) Limits() Limits {
 func (b *Budget) Charge(step string, cost float64, latency time.Duration, accuracy float64) []Violation {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	return b.chargeLocked(step, cost, latency, accuracy)
+}
+
+func (b *Budget) chargeLocked(step string, cost float64, latency time.Duration, accuracy float64) []Violation {
 	b.cost += cost
 	b.latency += latency
 	b.charges++
@@ -116,33 +131,116 @@ func (b *Budget) Charge(step string, cost float64, latency time.Duration, accura
 	return out
 }
 
+// Reservation holds pre-authorized cost/latency headroom for one in-flight
+// step. Commit it with the step's actuals, or Release it when the step never
+// ran. The reservation's projected amounts count against the limits for
+// every other Reserve/WouldExceed call while it is outstanding.
+type Reservation struct {
+	b       *Budget
+	step    string
+	cost    float64
+	latency time.Duration
+	done    bool // guarded by b.mu
+}
+
+// Reserve atomically checks that the projected cost/latency of a step fits
+// under the limits — counting actuals already charged plus all outstanding
+// reservations — and claims the headroom. When it does not fit, Reserve
+// claims nothing and returns the would-be violations so the coordinator can
+// apply its policy. This is the admission path for concurrently dispatched
+// steps: two goroutines racing Reserve can never jointly overshoot a limit.
+func (b *Budget) Reserve(step string, cost float64, latency time.Duration) (*Reservation, []Violation) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []Violation
+	if b.limits.MaxCost > 0 && b.cost+b.reservedCost+cost > b.limits.MaxCost {
+		out = append(out, Violation{
+			Dimension: DimCost, Step: step,
+			Actual: fmt.Sprintf("$%.4f projected", b.cost+b.reservedCost+cost),
+			Limit:  fmt.Sprintf("$%.4f", b.limits.MaxCost),
+		})
+	}
+	if b.limits.MaxLatency > 0 && b.latency+b.reservedLatency+latency > b.limits.MaxLatency {
+		out = append(out, Violation{
+			Dimension: DimLatency, Step: step,
+			Actual: (b.latency + b.reservedLatency + latency).String() + " projected",
+			Limit:  b.limits.MaxLatency.String(),
+		})
+	}
+	if len(out) > 0 {
+		return nil, out
+	}
+	b.reservedCost += cost
+	b.reservedLatency += latency
+	return &Reservation{b: b, step: step, cost: cost, latency: latency}, nil
+}
+
+// Commit releases the reservation and charges the step's actuals in one
+// atomic transition, returning any violations the actuals caused (actuals
+// may legitimately exceed the reserved projection). Committing twice, or
+// after Release, charges nothing. A nil reservation is a no-op.
+func (r *Reservation) Commit(cost float64, latency time.Duration, accuracy float64) []Violation {
+	if r == nil {
+		return nil
+	}
+	r.b.mu.Lock()
+	defer r.b.mu.Unlock()
+	if r.done {
+		return nil
+	}
+	r.releaseLocked()
+	return r.b.chargeLocked(r.step, cost, latency, accuracy)
+}
+
+// Release returns the reserved headroom without charging anything (the step
+// failed or was cancelled before completing). Safe to call twice or on nil.
+func (r *Reservation) Release() {
+	if r == nil {
+		return
+	}
+	r.b.mu.Lock()
+	defer r.b.mu.Unlock()
+	r.releaseLocked()
+}
+
+func (r *Reservation) releaseLocked() {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.b.reservedCost -= r.cost
+	r.b.reservedLatency -= r.latency
+}
+
 // WouldExceed reports whether adding the projected cost/latency would break
-// the limits — the coordinator's pre-dispatch projection check.
+// the limits — the coordinator's pre-dispatch projection check. Outstanding
+// reservations count as spent.
 func (b *Budget) WouldExceed(projCost float64, projLatency time.Duration) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.limits.MaxCost > 0 && b.cost+projCost > b.limits.MaxCost {
+	if b.limits.MaxCost > 0 && b.cost+b.reservedCost+projCost > b.limits.MaxCost {
 		return true
 	}
-	if b.limits.MaxLatency > 0 && b.latency+projLatency > b.limits.MaxLatency {
+	if b.limits.MaxLatency > 0 && b.latency+b.reservedLatency+projLatency > b.limits.MaxLatency {
 		return true
 	}
 	return false
 }
 
 // Remaining reports how much cost and latency headroom is left (zero values
-// when the dimension is unlimited).
+// when the dimension is unlimited). Outstanding reservations are not
+// available headroom, so they count as spent.
 func (b *Budget) Remaining() (cost float64, latency time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.limits.MaxCost > 0 {
-		cost = b.limits.MaxCost - b.cost
+		cost = b.limits.MaxCost - b.cost - b.reservedCost
 		if cost < 0 {
 			cost = 0
 		}
 	}
 	if b.limits.MaxLatency > 0 {
-		latency = b.limits.MaxLatency - b.latency
+		latency = b.limits.MaxLatency - b.latency - b.reservedLatency
 		if latency < 0 {
 			latency = 0
 		}
@@ -166,6 +264,10 @@ type Report struct {
 	Violations   []Violation
 	CostLimit    float64
 	LatencyLimit time.Duration
+	// CostReserved/LatencyReserved are the outstanding (uncommitted)
+	// reservations of in-flight steps at snapshot time.
+	CostReserved    float64
+	LatencyReserved time.Duration
 }
 
 // Snapshot returns the current report.
@@ -174,13 +276,15 @@ func (b *Budget) Snapshot() Report {
 	defer b.mu.Unlock()
 	acc, _ := b.accuracyLocked()
 	return Report{
-		CostSpent:    b.cost,
-		Latency:      b.latency,
-		Accuracy:     acc,
-		Charges:      b.charges,
-		Violations:   append([]Violation(nil), b.violations...),
-		CostLimit:    b.limits.MaxCost,
-		LatencyLimit: b.limits.MaxLatency,
+		CostSpent:       b.cost,
+		Latency:         b.latency,
+		Accuracy:        acc,
+		Charges:         b.charges,
+		Violations:      append([]Violation(nil), b.violations...),
+		CostLimit:       b.limits.MaxCost,
+		LatencyLimit:    b.limits.MaxLatency,
+		CostReserved:    b.reservedCost,
+		LatencyReserved: b.reservedLatency,
 	}
 }
 

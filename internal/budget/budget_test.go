@@ -140,6 +140,114 @@ func TestConcurrentCharges(t *testing.T) {
 	}
 }
 
+func TestReserveCommitLifecycle(t *testing.T) {
+	b := New(Limits{MaxCost: 1.0, MaxLatency: time.Second})
+	rsv, v := b.Reserve("s1", 0.4, 200*time.Millisecond)
+	if rsv == nil || v != nil {
+		t.Fatalf("reserve failed: %v", v)
+	}
+	r := b.Snapshot()
+	if r.CostReserved != 0.4 || r.LatencyReserved != 200*time.Millisecond {
+		t.Fatalf("reserved = %+v", r)
+	}
+	if r.Charges != 0 || r.CostSpent != 0 {
+		t.Fatalf("reservation charged: %+v", r)
+	}
+	// Reservation headroom counts against further admission.
+	if cost, _ := b.Remaining(); cost != 0.6 {
+		t.Fatalf("remaining = %v", cost)
+	}
+	if !b.WouldExceed(0.7, 0) {
+		t.Fatal("reserved headroom not counted by WouldExceed")
+	}
+	// Commit actuals (cheaper than projected).
+	if v := rsv.Commit(0.3, 150*time.Millisecond, 0.9); v != nil {
+		t.Fatalf("commit violations: %v", v)
+	}
+	r = b.Snapshot()
+	if r.CostReserved != 0 || r.CostSpent != 0.3 || r.Charges != 1 {
+		t.Fatalf("post-commit = %+v", r)
+	}
+	// Double-commit is a no-op.
+	if v := rsv.Commit(0.3, 0, 0); v != nil || b.Snapshot().Charges != 1 {
+		t.Fatal("double commit charged again")
+	}
+}
+
+func TestReserveRejectsOverLimit(t *testing.T) {
+	b := New(Limits{MaxCost: 0.5})
+	if rsv, v := b.Reserve("big", 0.6, 0); rsv != nil || len(v) != 1 || v[0].Dimension != DimCost {
+		t.Fatalf("over-limit reserve admitted: rsv=%v v=%v", rsv, v)
+	}
+	// A failed Reserve claims nothing and records no violation.
+	if b.Violated() {
+		t.Fatal("failed reserve recorded a violation")
+	}
+	if r := b.Snapshot(); r.CostReserved != 0 {
+		t.Fatalf("failed reserve leaked headroom: %+v", r)
+	}
+}
+
+func TestReleaseReturnsHeadroom(t *testing.T) {
+	b := New(Limits{MaxCost: 0.5})
+	rsv, _ := b.Reserve("s", 0.5, 0)
+	if rsv == nil {
+		t.Fatal("reserve failed")
+	}
+	if r2, v := b.Reserve("s2", 0.1, 0); r2 != nil || v == nil {
+		t.Fatal("exhausted budget admitted a second reservation")
+	}
+	rsv.Release()
+	if r2, v := b.Reserve("s2", 0.1, 0); r2 == nil || v != nil {
+		t.Fatalf("released headroom not reusable: %v", v)
+	}
+}
+
+// Two (or more) concurrent Reserve calls must never jointly exceed the cost
+// limit: with MaxCost 1.0 and per-step cost 0.3, at most 3 of the racing
+// steps may be admitted no matter the interleaving. Run under -race.
+func TestConcurrentReserveCannotOvershoot(t *testing.T) {
+	const (
+		limit    = 1.0
+		stepCost = 0.3
+		workers  = 10
+	)
+	b := New(Limits{MaxCost: limit})
+	var wg sync.WaitGroup
+	admitted := make(chan *Reservation, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if rsv, _ := b.Reserve("s", stepCost, 0); rsv != nil {
+				admitted <- rsv
+			}
+		}()
+	}
+	wg.Wait()
+	close(admitted)
+	var rsvs []*Reservation
+	for rsv := range admitted {
+		rsvs = append(rsvs, rsv)
+	}
+	if len(rsvs) != 3 {
+		t.Fatalf("admitted %d reservations of $%.1f under a $%.1f limit", len(rsvs), stepCost, limit)
+	}
+	// Committing every admitted step at its projected cost stays within the
+	// limit: no violations possible through the Reserve/Commit path.
+	for _, rsv := range rsvs {
+		if v := rsv.Commit(stepCost, 0, 0); v != nil {
+			t.Fatalf("commit violated after admission: %v", v)
+		}
+	}
+	if b.Violated() {
+		t.Fatal("reserve/commit path overshot the limit")
+	}
+	if cost := b.Snapshot().CostSpent; cost > limit {
+		t.Fatalf("spent %v > limit %v", cost, limit)
+	}
+}
+
 func TestSnapshotViolationsCopied(t *testing.T) {
 	b := New(Limits{MaxCost: 0.01})
 	b.Charge("s", 1, 0, 0)

@@ -5,11 +5,44 @@
 // downstream inputs (e.g. PROFILER.CRITERIA <- USER.TEXT), monitors actual
 // cost/latency/accuracy against the budget, and aborts or triggers
 // replanning when thresholds are exceeded.
+//
+// # Concurrent DAG scheduling
+//
+// ExecutePlan honours the plan's DAG structure rather than its listing
+// order: the step dependencies are derived from the bindings
+// (planner.Plan.Deps), and a bounded worker pool (Options.MaxParallel,
+// default DefaultMaxParallel) dispatches every step whose dependencies are
+// satisfied concurrently. A fan-out plan with N independent steps therefore
+// completes in one wave (planner.Plan.Waves describes the wave structure),
+// and the optimizer projects its latency as the critical path over the DAG,
+// not the sum of the steps.
+//
+// Violation semantics under concurrency: each step is admitted through the
+// budget's atomic Reserve/Commit path, so concurrently dispatched steps can
+// never jointly overshoot the cost limit; latency is charged as each step's
+// marginal growth of the plan's critical path over actual step latencies,
+// so the latency limit means the plan's (possibly simulated) end-to-end
+// latency — consistent with the optimizer's critical-path projection —
+// rather than a sum that would double-count overlapping steps. A step that does
+// not fit triggers the violation policy (Abort cancels the shared context,
+// which unblocks every in-flight step and skips queued ones; Confirm
+// consults ConfirmFunc — serialized so one prompt shows at a time, and at
+// most once per step; Replan applies only at the whole-plan projection
+// stage and otherwise aborts). Step results are always reported in plan
+// order regardless of completion order, and Final remains the outputs of
+// the last completed step in plan order.
+//
+// Service executes every watched plan on its own goroutine, so plans
+// arriving on one session's streams — and plans across sessions — run
+// concurrently; completions are announced on the event-driven ResultC
+// channel.
 package coordinator
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"blueprint/internal/agent"
@@ -48,21 +81,26 @@ const (
 type Options struct {
 	// OnViolation selects the budget-violation policy.
 	OnViolation ViolationPolicy
-	// ConfirmFunc is consulted under the Confirm policy.
+	// ConfirmFunc is consulted under the Confirm policy. Calls are
+	// serialized even when concurrent steps violate simultaneously.
 	ConfirmFunc func(violations []budget.Violation) bool
 	// StepTimeout bounds one agent invocation end-to-end (default 30s).
 	StepTimeout time.Duration
 	// RetryOnError enables one replan+retry when an agent reports an error.
 	RetryOnError bool
+	// MaxParallel bounds how many plan steps execute concurrently
+	// (default DefaultMaxParallel; 1 degenerates to sequential execution).
+	MaxParallel int
 }
 
 // Coordinator executes task plans over a stream store.
 type Coordinator struct {
-	store *streams.Store
-	reg   *registry.AgentRegistry
-	tp    *planner.TaskPlanner
-	model *llm.Model
-	opts  Options
+	store     *streams.Store
+	reg       *registry.AgentRegistry
+	tp        *planner.TaskPlanner
+	model     *llm.Model
+	opts      Options
+	confirmMu sync.Mutex // serializes ConfirmFunc consultations
 }
 
 // New creates a coordinator. The planner may be nil when replanning is not
@@ -87,7 +125,8 @@ type StepResult struct {
 // Result is the outcome of one plan execution.
 type Result struct {
 	PlanID string
-	// Steps holds per-step results in execution order.
+	// Steps holds per-step results in plan order (steps execute
+	// concurrently; completion order is not meaningful).
 	Steps []StepResult
 	// Final holds the last step's outputs.
 	Final map[string]any
@@ -102,6 +141,9 @@ type Result struct {
 }
 
 // ExecutePlan runs the plan within the session, charging b for every step.
+// Steps execute concurrently along the plan's dependency DAG (see the
+// package comment); the call itself blocks until the plan completes, fails,
+// or aborts.
 func (c *Coordinator) ExecutePlan(session string, p *planner.Plan, b *budget.Budget) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -110,15 +152,16 @@ func (c *Coordinator) ExecutePlan(session string, p *planner.Plan, b *budget.Bud
 		b = budget.New(budget.Limits{})
 	}
 	res := &Result{PlanID: p.ID}
-	outputs := map[string]map[string]any{}
 
 	// Pre-execution projection (§V-H: plan arrives "along with an initial
-	// budget and projected costs (estimated by the optimizer)").
+	// budget and projected costs (estimated by the optimizer)"). The
+	// latency projection is the critical path over the DAG, so fan-out
+	// plans are not falsely rejected for the sum of their parallel steps.
 	projCost, projLatency, _ := optimizer.EstimatePlan(p, c.reg)
 	if b.WouldExceed(projCost, projLatency) {
 		switch c.opts.OnViolation {
 		case Confirm:
-			if c.opts.ConfirmFunc != nil && c.opts.ConfirmFunc(nil) {
+			if c.confirm(nil) {
 				break
 			}
 			return c.abort(session, res, b, fmt.Sprintf("projected cost $%.4f/latency %s exceeds budget", projCost, projLatency))
@@ -139,49 +182,21 @@ func (c *Coordinator) ExecutePlan(session string, p *planner.Plan, b *budget.Bud
 		}
 	}
 
-	steps := p.Steps
-	for i := 0; i < len(steps); i++ {
-		step := steps[i]
-		inputs, err := c.resolveInputs(session, p, step, outputs, b)
-		if err != nil {
-			return res, fmt.Errorf("%w: %s: %v", ErrStepFailed, step.ID, err)
-		}
-		sr, execErr := c.executeStep(session, p, step, inputs)
-		if execErr != nil && c.opts.RetryOnError && c.tp != nil {
-			np, rerr := c.tp.Replan(p, step.ID)
-			if rerr == nil {
-				res.Replans++
-				alt, _ := np.Step(step.ID)
-				sr, execErr = c.executeStep(session, np, alt, inputs)
-				if execErr == nil {
-					step = alt
-				}
-			}
-		}
-		res.Steps = append(res.Steps, sr)
-		if execErr != nil {
-			return res, fmt.Errorf("%w: %s (%s): %v", ErrStepFailed, step.ID, step.Agent, execErr)
-		}
-		outputs[step.ID] = sr.Outputs
-		res.Final = sr.Outputs
-
-		spec, _ := c.reg.Get(step.Agent)
-		acc := spec.QoS.Accuracy
-		violations := b.Charge(step.ID+":"+step.Agent, sr.Cost, sr.Latency, acc)
-		if len(violations) > 0 {
-			switch c.opts.OnViolation {
-			case Confirm:
-				if c.opts.ConfirmFunc != nil && c.opts.ConfirmFunc(violations) {
-					continue
-				}
-				return c.abort(session, res, b, violations[0].String())
-			default:
-				return c.abort(session, res, b, violations[0].String())
-			}
-		}
-	}
+	err := newScheduler(c, session, p, b, res).run()
 	res.Budget = b.Snapshot()
-	return res, nil
+	return res, err
+}
+
+// confirm consults ConfirmFunc under confirmMu, so prompts are serialized
+// across concurrent steps and concurrently executing plans (Service runs
+// each watched plan on its own goroutine over one shared Coordinator).
+func (c *Coordinator) confirm(vs []budget.Violation) bool {
+	if c.opts.ConfirmFunc == nil {
+		return false
+	}
+	c.confirmMu.Lock()
+	defer c.confirmMu.Unlock()
+	return c.opts.ConfirmFunc(vs)
 }
 
 func (c *Coordinator) abort(session string, res *Result, b *budget.Budget, reason string) (*Result, error) {
@@ -256,8 +271,9 @@ func (c *Coordinator) transform(transform, text string) (string, dataplan.Estima
 }
 
 // executeStep streams an EXECUTE_AGENT instruction and awaits its DONE or
-// ERROR report, collecting outputs from the step's reply stream.
-func (c *Coordinator) executeStep(session string, p *planner.Plan, step planner.Step, inputs map[string]any) (StepResult, error) {
+// ERROR report, collecting outputs from the step's reply stream. The wait
+// aborts when ctx is cancelled (plan-level abort or failure elsewhere).
+func (c *Coordinator) executeStep(ctx context.Context, session string, p *planner.Plan, step planner.Step, inputs map[string]any) (StepResult, error) {
 	sr := StepResult{StepID: step.ID, Agent: step.Agent, Outputs: map[string]any{}}
 	replyStream := fmt.Sprintf("%s:%s:%s", session, p.ID, step.ID)
 	invID := fmt.Sprintf("%s-%s", p.ID, step.ID)
@@ -307,6 +323,9 @@ func (c *Coordinator) executeStep(session string, p *planner.Plan, step planner.
 				}
 				return sr, nil
 			}
+		case <-ctx.Done():
+			sr.Err = "cancelled"
+			return sr, fmt.Errorf("step %s cancelled: %w", step.ID, ctx.Err())
 		case <-timeout:
 			sr.Err = "timeout"
 			return sr, fmt.Errorf("%w: %s after %s", ErrStepTimeout, step.ID, c.opts.StepTimeout)

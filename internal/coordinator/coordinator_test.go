@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -201,9 +202,10 @@ func TestProjectionAbortBeforeExecution(t *testing.T) {
 
 func TestConfirmPolicyContinues(t *testing.T) {
 	e := newEnv(t)
+	calls := 0
 	c := New(e.store, e.reg, e.tp, e.model, Options{
 		OnViolation: Confirm,
-		ConfirmFunc: func(v []budget.Violation) bool { return true },
+		ConfirmFunc: func(v []budget.Violation) bool { calls++; return true },
 	})
 	plan, _ := e.tp.Plan("I am looking for a data scientist position.")
 	b := budget.New(budget.Limits{MaxCost: 0.0001})
@@ -216,6 +218,11 @@ func TestConfirmPolicyContinues(t *testing.T) {
 	}
 	if len(res.Budget.Violations) == 0 {
 		t.Fatal("violations not recorded")
+	}
+	// One prompt for the plan projection plus at most one per step: a step
+	// confirmed at admission is not re-prompted when its actuals commit.
+	if calls != 4 {
+		t.Fatalf("confirm prompts = %d, want 4 (projection + one per step)", calls)
 	}
 }
 
@@ -262,6 +269,50 @@ func TestRetryOnErrorReplans(t *testing.T) {
 	}
 }
 
+// A replan retry must be re-admitted through the budget: when the
+// alternative agent's projected cost no longer fits, the plan aborts before
+// the retry executes instead of overshooting post-hoc.
+func TestReplanRetryReadmitsThroughBudget(t *testing.T) {
+	e := newEnv(t)
+	spec := registry.AgentSpec{
+		Name:        "FLAKY_MATCHER",
+		Description: "match the job seeker profile with available job listings ranking match quality precisely",
+		Inputs:      []registry.ParamSpec{{Name: "JOBSEEKER_DATA", Type: "profile"}},
+		Outputs:     []registry.ParamSpec{{Name: "MATCHES", Type: "rows"}},
+	}
+	if err := e.reg.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := agent.Attach(e.store, sess, agent.New(spec, func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
+		return agent.Outputs{}, errors.New("model unavailable")
+	}), agent.Options{DisableListen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Stop()
+
+	c := New(e.store, e.reg, e.tp, e.model, Options{RetryOnError: true})
+	plan := &planner.Plan{
+		ID: "manual-4", Utterance: "match me", Intent: "rank",
+		Steps: []planner.Step{
+			{ID: "s1", Agent: "PROFILER", Task: "collect job seeker profile information from the user",
+				Bindings: map[string]planner.Binding{"CRITERIA": {FromUserText: true}}},
+			{ID: "s2", Agent: "FLAKY_MATCHER", Task: "match the job seeker profile with available job listings",
+				Bindings: map[string]planner.Binding{"JOBSEEKER_DATA": {FromStep: "s1", FromParam: "JOBSEEKER_DATA"}}},
+		},
+	}
+	// Fits PROFILER ($0.001) and the zero-QoS flaky agent, but not the
+	// $0.01 JOBMATCHER the replan would substitute.
+	b := budget.New(budget.Limits{MaxCost: 0.0015})
+	res, err := c.ExecutePlan(sess, plan, b)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v (res=%+v)", err, res)
+	}
+	if got := res.Budget.CostSpent; got > 0.0015 {
+		t.Fatalf("replan retry overshot the budget: spent $%.4f", got)
+	}
+}
+
 func TestStepFailureWithoutRetry(t *testing.T) {
 	e := newEnv(t)
 	c := New(e.store, e.reg, e.tp, e.model, Options{})
@@ -295,6 +346,258 @@ func TestUnresolvableBinding(t *testing.T) {
 	}
 }
 
+// fanEnv attaches n independent equal-latency agents (FAN_1..FAN_n) to the
+// session plus a JOIN agent consuming all their outputs, and returns a
+// tracker of the maximum number of agents in flight at once.
+type fanEnv struct {
+	*env
+	inFlight    atomic.Int64
+	maxInFlight atomic.Int64
+}
+
+func newFanEnv(t testing.TB, n int, stepLatency time.Duration) *fanEnv {
+	fe := &fanEnv{env: newEnv(t)}
+	fe.register(t, n, stepLatency)
+	fe.attach(t, sess, n, stepLatency)
+	return fe
+}
+
+// register adds the FAN_1..FAN_n and JOIN specs to the registry.
+func (fe *fanEnv) register(t testing.TB, n int, stepLatency time.Duration) {
+	for i := 1; i <= n; i++ {
+		spec := registry.AgentSpec{
+			Name:        fmt.Sprintf("FAN_%d", i),
+			Description: fmt.Sprintf("independent fan-out worker %d", i),
+			Inputs:      []registry.ParamSpec{{Name: "CRITERIA", Type: "text"}},
+			Outputs:     []registry.ParamSpec{{Name: "OUT", Type: "text"}},
+			QoS:         registry.QoSProfile{CostPerCall: 0.001, Latency: stepLatency, Accuracy: 1.0},
+		}
+		if err := fe.reg.Register(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	join := registry.AgentSpec{
+		Name:        "JOIN",
+		Description: "joins the fan-out outputs",
+		Outputs:     []registry.ParamSpec{{Name: "JOINED", Type: "text"}},
+	}
+	for i := 1; i <= n; i++ {
+		join.Inputs = append(join.Inputs, registry.ParamSpec{Name: fmt.Sprintf("IN_%d", i), Type: "text"})
+	}
+	if err := fe.reg.Register(join); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// attach starts the fan and join agent instances in the given session.
+func (fe *fanEnv) attach(t testing.TB, session string, n int, stepLatency time.Duration) {
+	track := func() func() {
+		cur := fe.inFlight.Add(1)
+		for {
+			max := fe.maxInFlight.Load()
+			if cur <= max || fe.maxInFlight.CompareAndSwap(max, cur) {
+				break
+			}
+		}
+		return func() { fe.inFlight.Add(-1) }
+	}
+	for i := 1; i <= n; i++ {
+		spec, err := fe.reg.Get(fmt.Sprintf("FAN_%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := agent.Attach(fe.store, session, agent.New(spec, func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
+			defer track()()
+			select {
+			case <-time.After(stepLatency):
+			case <-ctx.Done():
+				return agent.Outputs{}, ctx.Err()
+			}
+			return agent.Outputs{Values: map[string]any{"OUT": "done"}}, nil
+		}), agent.Options{DisableListen: true, Workers: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fe.insts = append(fe.insts, inst)
+	}
+	join, err := fe.reg.Get("JOIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := agent.Attach(fe.store, session, agent.New(join, func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
+		return agent.Outputs{Values: map[string]any{"JOINED": fmt.Sprintf("%d inputs", len(inv.Inputs))}}, nil
+	}), agent.Options{DisableListen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe.insts = append(fe.insts, inst)
+}
+
+// fanOutPlan builds s1..sn independent steps plus a join step depending on
+// all of them.
+func fanOutPlan(n int) *planner.Plan {
+	p := &planner.Plan{ID: "fan", Utterance: "fan out", Intent: "rank"}
+	joinBindings := map[string]planner.Binding{}
+	for i := 1; i <= n; i++ {
+		id := fmt.Sprintf("s%d", i)
+		p.Steps = append(p.Steps, planner.Step{
+			ID: id, Agent: fmt.Sprintf("FAN_%d", i), Task: "fan out",
+			Bindings: map[string]planner.Binding{"CRITERIA": {FromUserText: true}},
+		})
+		joinBindings[fmt.Sprintf("IN_%d", i)] = planner.Binding{FromStep: id, FromParam: "OUT"}
+	}
+	p.Steps = append(p.Steps, planner.Step{
+		ID: "join", Agent: "JOIN", Task: "join", Bindings: joinBindings,
+	})
+	return p
+}
+
+// A fan-out plan's independent steps must run concurrently (one wave), and
+// the merged outputs must all reach the join step. Run under -race: this is
+// the scheduler's concurrency soak test.
+func TestConcurrentFanOutExecutesInParallel(t *testing.T) {
+	const n = 4
+	fe := newFanEnv(t, n, 40*time.Millisecond)
+	c := New(fe.store, fe.reg, fe.tp, fe.model, Options{})
+	plan := fanOutPlan(n)
+
+	start := time.Now()
+	res, err := c.ExecutePlan(sess, plan, budget.New(budget.Limits{}))
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatalf("fan-out failed: %v (res=%+v)", err, res)
+	}
+	if len(res.Steps) != n+1 {
+		t.Fatalf("steps = %d, want %d", len(res.Steps), n+1)
+	}
+	// Steps reported in plan order with the join last, fed by all n outputs.
+	if res.Steps[n].StepID != "join" {
+		t.Fatalf("step order = %+v", res.Steps)
+	}
+	if joined, _ := res.Final["JOINED"]; joined != fmt.Sprintf("%d inputs", n) {
+		t.Fatalf("join saw %v", joined)
+	}
+	if max := fe.maxInFlight.Load(); max < 2 {
+		t.Fatalf("max in-flight = %d, want >= 2 (steps serialized)", max)
+	}
+	// ~1 wave of fan-out + join (~2x step latency), not n sequential waves.
+	// The bound of 3/4 of the sequential floor is generous for slow CI
+	// machines while still failing if most of the fan-out serializes.
+	if bound := time.Duration(n) * 40 * time.Millisecond * 3 / 4; wall >= bound {
+		t.Fatalf("wall-clock %v not under concurrency bound %v", wall, bound)
+	}
+	if res.Budget.Charges != n+1 {
+		t.Fatalf("charges = %d, want %d", res.Budget.Charges, n+1)
+	}
+}
+
+// A parallel plan admitted by the critical-path projection must not be
+// aborted mid-flight by latency accounting: 4 concurrent 40ms steps under a
+// 150ms limit overlap on the critical path (~40ms + join), so neither the
+// per-step admission nor the commits may trip the latency limit the way a
+// sum-of-step-latencies (160ms) would.
+func TestParallelPlanFitsLatencyBudget(t *testing.T) {
+	const n = 4
+	fe := newFanEnv(t, n, 40*time.Millisecond)
+	c := New(fe.store, fe.reg, fe.tp, fe.model, Options{})
+	b := budget.New(budget.Limits{MaxLatency: 150 * time.Millisecond})
+	res, err := c.ExecutePlan(sess, fanOutPlan(n), b)
+	if err != nil {
+		t.Fatalf("latency-budgeted fan-out aborted: %v (res=%+v)", err, res)
+	}
+	if res.Aborted || len(res.Steps) != n+1 {
+		t.Fatalf("result = %+v", res)
+	}
+	// The budget's latency dimension tracked the critical path over the
+	// steps' actual latencies, not their 160ms sum.
+	if lat := res.Budget.Latency; lat >= 160*time.Millisecond {
+		t.Fatalf("charged latency %v looks like a sum of steps, not a critical path", lat)
+	}
+}
+
+// MaxParallel: 1 must serialize the same plan.
+func TestMaxParallelOneSerializes(t *testing.T) {
+	const n = 3
+	fe := newFanEnv(t, n, 20*time.Millisecond)
+	c := New(fe.store, fe.reg, fe.tp, fe.model, Options{MaxParallel: 1})
+	res, err := c.ExecutePlan(sess, fanOutPlan(n), budget.New(budget.Limits{}))
+	if err != nil {
+		t.Fatalf("sequential fan-out failed: %v (res=%+v)", err, res)
+	}
+	if max := fe.maxInFlight.Load(); max != 1 {
+		t.Fatalf("max in-flight = %d under MaxParallel=1", max)
+	}
+}
+
+// A failure in one step must cancel the coordinator's wait on the other
+// in-flight steps via the shared context instead of letting the plan run on
+// to the step timeout.
+func TestFailureCancelsInFlightSteps(t *testing.T) {
+	e := newEnv(t)
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	add := func(name string, fail bool) {
+		spec := registry.AgentSpec{
+			Name:        name,
+			Description: name + " concurrent step",
+			Inputs:      []registry.ParamSpec{{Name: "CRITERIA", Type: "text"}},
+			Outputs:     []registry.ParamSpec{{Name: "OUT", Type: "text"}},
+			QoS:         registry.QoSProfile{CostPerCall: 0.001, Accuracy: 1.0},
+		}
+		if err := e.reg.Register(spec); err != nil {
+			t.Fatal(err)
+		}
+		inst, err := agent.Attach(e.store, sess, agent.New(spec, func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
+			started <- struct{}{}
+			if fail {
+				<-release
+				return agent.Outputs{}, errors.New("boom")
+			}
+			<-ctx.Done() // sleeper: only the agent-side timeout wakes it
+			return agent.Outputs{}, ctx.Err()
+		}), agent.Options{DisableListen: true, Timeout: 500 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.insts = append(e.insts, inst)
+	}
+	add("FAILER", true)
+	add("SLEEPER", false)
+
+	// StepTimeout of 10s: if cancellation did not work, the plan would hang
+	// on the sleeper for the full step timeout.
+	c := New(e.store, e.reg, e.tp, e.model, Options{StepTimeout: 10 * time.Second})
+	plan := &planner.Plan{
+		ID: "abort-fan", Utterance: "x", Intent: "rank",
+		Steps: []planner.Step{
+			{ID: "s1", Agent: "FAILER", Task: "fail",
+				Bindings: map[string]planner.Binding{"CRITERIA": {FromUserText: true}}},
+			{ID: "s2", Agent: "SLEEPER", Task: "sleep",
+				Bindings: map[string]planner.Binding{"CRITERIA": {FromUserText: true}}},
+		},
+	}
+	go func() {
+		// Let both steps start before the failure fires.
+		<-started
+		<-started
+		close(release)
+	}()
+	start := time.Now()
+	res, err := c.ExecutePlan(sess, plan, budget.New(budget.Limits{}))
+	if !errors.Is(err, ErrStepFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Fatalf("failure did not cancel the in-flight sleeper (took %v)", wall)
+	}
+	// The cancelled sleeper is reported as collateral, not as the cause.
+	for _, sr := range res.Steps {
+		if sr.StepID == "s2" && sr.Err != "cancelled" {
+			t.Fatalf("sleeper result = %+v", sr)
+		}
+	}
+}
+
 func TestServiceExecutesEmittedPlans(t *testing.T) {
 	e := newEnv(t)
 	c := New(e.store, e.reg, e.tp, e.model, Options{})
@@ -308,18 +611,18 @@ func TestServiceExecutesEmittedPlans(t *testing.T) {
 	if err := planner.EmitPlan(e.store, sess, plan); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if rs := svc.Results(); len(rs) == 1 {
-			if rs[0].Aborted {
-				t.Fatalf("service result aborted: %+v", rs[0])
-			}
-			break
+	// Event-driven completion: the service announces each finished plan on
+	// ResultC, so no sleep-polling of Results is needed.
+	select {
+	case res := <-svc.ResultC():
+		if res.Aborted {
+			t.Fatalf("service result aborted: %+v", res)
 		}
-		if time.Now().After(deadline) {
-			t.Fatal("service never executed the plan")
-		}
-		time.Sleep(10 * time.Millisecond)
+	case <-time.After(10 * time.Second):
+		t.Fatal("service never executed the plan")
+	}
+	if rs := svc.Results(); len(rs) != 1 {
+		t.Fatalf("results = %d, want 1", len(rs))
 	}
 	// Final outputs surfaced on the display stream.
 	msgs, err := e.store.ReadAll(agent.DisplayStream(sess))

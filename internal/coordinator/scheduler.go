@@ -1,0 +1,349 @@
+package coordinator
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"blueprint/internal/agent"
+	"blueprint/internal/budget"
+	"blueprint/internal/planner"
+	"blueprint/internal/streams"
+)
+
+// DefaultMaxParallel is the scheduler's worker-pool bound when Options does
+// not set one: up to this many plan steps execute concurrently.
+const DefaultMaxParallel = 8
+
+// scheduler executes one plan as a dependency-driven DAG: it derives the
+// step dependencies from the plan's bindings (planner.Plan.Deps), dispatches
+// every step whose dependencies are satisfied onto a bounded worker pool,
+// merges step outputs under a lock, and admits each step through the
+// budget's atomic Reserve/Commit path so concurrently executing steps cannot
+// jointly overshoot the cost limit; latency is enforced against the critical
+// path of actual step latencies (each commit charges only the critical
+// path's growth), matching the optimizer's projection in the same units.
+// The first failure or budget abort cancels the shared context, which
+// unblocks in-flight steps; queued-but-unstarted steps are skipped.
+type scheduler struct {
+	c       *Coordinator
+	session string
+	plan    *planner.Plan
+	budget  *budget.Budget
+	res     *Result
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	deps   map[string][]string // plan dependency DAG (set once in run)
+
+	mu             sync.Mutex
+	outputs        map[string]map[string]any // completed step outputs by step ID
+	results        map[string]StepResult     // recorded step results by step ID
+	failErr        error                     // first failure; nil while healthy
+	simFinish      map[string]time.Duration  // per-step critical-path finish time
+	chargedLatency time.Duration             // critical-path latency charged so far
+}
+
+// stepOutcome is one worker's report back to the scheduling loop.
+type stepOutcome struct {
+	stepID string
+	ran    bool // false when the step was skipped (cancelled before start)
+	err    error
+}
+
+func newScheduler(c *Coordinator, session string, p *planner.Plan, b *budget.Budget, res *Result) *scheduler {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &scheduler{
+		c: c, session: session, plan: p, budget: b, res: res,
+		ctx: ctx, cancel: cancel,
+		outputs:   map[string]map[string]any{},
+		results:   map[string]StepResult{},
+		simFinish: map[string]time.Duration{},
+	}
+}
+
+// run executes the plan to completion (or first failure) and assembles the
+// result. It always leaves res.Steps in plan order regardless of the actual
+// completion order.
+func (s *scheduler) run() error {
+	defer s.cancel()
+	steps := s.plan.Steps
+	deps := s.plan.Deps()
+	s.deps = deps // published to workers via the ready-channel send
+	index := make(map[string]planner.Step, len(steps))
+	indeg := make(map[string]int, len(steps))
+	children := map[string][]string{}
+	for _, st := range steps {
+		index[st.ID] = st
+		indeg[st.ID] = len(deps[st.ID])
+		for _, d := range deps[st.ID] {
+			children[d] = append(children[d], st.ID)
+		}
+	}
+
+	workers := s.c.opts.MaxParallel
+	if workers <= 0 {
+		workers = DefaultMaxParallel
+	}
+	if workers > len(steps) {
+		workers = len(steps)
+	}
+
+	ready := make(chan planner.Step, len(steps))
+	done := make(chan stepOutcome, len(steps))
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for st := range ready {
+				done <- s.runStep(st)
+			}
+		}()
+	}
+
+	dispatched := 0
+	for _, st := range steps { // seed the initial wave, in plan order
+		if indeg[st.ID] == 0 {
+			ready <- st
+			dispatched++
+		}
+	}
+	stopped := false
+	for finished := 0; finished < dispatched; finished++ {
+		oc := <-done
+		if oc.err != nil {
+			stopped = true // failure already recorded; drain in-flight work
+			continue
+		}
+		if stopped || !oc.ran {
+			continue
+		}
+		for _, child := range children[oc.stepID] {
+			indeg[child]--
+			if indeg[child] == 0 {
+				ready <- index[child]
+				dispatched++
+			}
+		}
+	}
+	close(ready)
+	wg.Wait()
+
+	// Assemble results in plan order; Final is the last completed step's
+	// outputs, matching the sequential contract.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range steps {
+		sr, ok := s.results[st.ID]
+		if !ok {
+			continue
+		}
+		s.res.Steps = append(s.res.Steps, sr)
+		if sr.Err == "" {
+			s.res.Final = sr.Outputs
+		}
+	}
+	return s.failErr
+}
+
+// runStep executes one plan step end to end: input resolution, budget
+// admission (Reserve), agent execution with one optional replan retry, and
+// the Commit of actuals. Policy decisions on violations happen inline; the
+// scheduling loop only learns success or failure.
+func (s *scheduler) runStep(step planner.Step) stepOutcome {
+	if s.ctx.Err() != nil {
+		return stepOutcome{stepID: step.ID, ran: false}
+	}
+	inputs, err := s.c.resolveInputs(s.session, s.plan, step, s.snapshotOutputs(), s.budget)
+	if err != nil {
+		err = fmt.Errorf("%w: %s: %v", ErrStepFailed, step.ID, err)
+		s.fail(err)
+		return stepOutcome{stepID: step.ID, err: err}
+	}
+
+	// Admission: reserve the registry's projected cost so parallel steps
+	// cannot jointly overshoot the cost limit. Latency is deliberately NOT
+	// reserved per step — concurrent steps overlap in time, so summing
+	// their projected latencies would falsely reject parallel plans the
+	// critical-path projection already admitted; latency is enforced at
+	// commit time against the critical path of actual step latencies.
+	// Steps of unknown agents (no QoS profile) skip the reservation and
+	// fail in executeStep.
+	var rsv *budget.Reservation
+	confirmed := false
+	spec, specErr := s.c.reg.Get(step.Agent)
+	if specErr == nil {
+		var vs []budget.Violation
+		rsv, vs = s.budget.Reserve(step.ID+":"+step.Agent, spec.QoS.CostPerCall, 0)
+		if len(vs) > 0 {
+			if !s.confirmViolations(vs) {
+				err := s.abort(vs[0].String())
+				return stepOutcome{stepID: step.ID, err: err}
+			}
+			// Confirmed: execute without a reservation; actuals are charged
+			// (and recorded as violations) on completion. The step is asked
+			// about once — the commit-stage violations it already confirmed
+			// do not prompt again.
+			confirmed = true
+		}
+	}
+
+	sr, execErr := s.c.executeStep(s.ctx, s.session, s.plan, step, inputs)
+	if execErr != nil && s.c.opts.RetryOnError && s.c.tp != nil && s.ctx.Err() == nil {
+		if np, rerr := s.c.tp.Replan(s.plan, step.ID); rerr == nil {
+			s.mu.Lock()
+			s.res.Replans++
+			s.mu.Unlock()
+			alt, _ := np.Step(step.ID)
+			// Re-admit the retry: the alternative agent's projected cost
+			// may differ from the reservation held for the failed one, and
+			// executing it unreserved would reopen the joint-overshoot
+			// window Reserve exists to close.
+			rsv.Release()
+			rsv = nil
+			if altSpec, err := s.c.reg.Get(alt.Agent); err == nil {
+				var vs []budget.Violation
+				rsv, vs = s.budget.Reserve(step.ID+":"+alt.Agent, altSpec.QoS.CostPerCall, 0)
+				if len(vs) > 0 {
+					if !s.confirmViolations(vs) {
+						err := s.abort(vs[0].String())
+						s.mu.Lock()
+						s.results[step.ID] = sr // the original failure
+						s.mu.Unlock()
+						return stepOutcome{stepID: step.ID, ran: true, err: err}
+					}
+					confirmed = true
+				}
+			}
+			sr, execErr = s.c.executeStep(s.ctx, s.session, np, alt, inputs)
+			if execErr == nil {
+				step = alt
+			}
+		}
+	}
+	s.mu.Lock()
+	s.results[step.ID] = sr
+	s.mu.Unlock()
+	if execErr != nil {
+		rsv.Release()
+		err := fmt.Errorf("%w: %s (%s): %v", ErrStepFailed, step.ID, step.Agent, execErr)
+		if s.ctx.Err() != nil {
+			// Cancelled by another step's failure: keep that failure as the
+			// plan error, report this step as collateral.
+			s.mu.Lock()
+			if s.failErr != nil {
+				err = s.failErr
+			}
+			s.mu.Unlock()
+		} else {
+			s.fail(err)
+		}
+		return stepOutcome{stepID: step.ID, ran: true, err: err}
+	}
+
+	// Commit actuals (the executed agent may differ from the reserved one
+	// after a replan; the accuracy signal follows the executed agent).
+	// Latency is charged as the step's marginal contribution to the plan's
+	// *critical path over actual step latencies*: the step finishes at
+	// max(finish of its deps) + its own reported latency, and only growth
+	// of the overall critical path is charged. Parallel steps overlap
+	// instead of summing, sequential chains accumulate exactly as before,
+	// and the units stay the agents' reported latencies — the same units
+	// the optimizer's critical-path projection uses (essential for the
+	// simulated LLM, whose reported latency is not slept wall time).
+	acc := 0.0
+	if exSpec, err := s.c.reg.Get(step.Agent); err == nil {
+		acc = exSpec.QoS.Accuracy
+	}
+	s.mu.Lock()
+	startAt := time.Duration(0)
+	for _, d := range s.deps[step.ID] {
+		if s.simFinish[d] > startAt {
+			startAt = s.simFinish[d]
+		}
+	}
+	finish := startAt + sr.Latency
+	s.simFinish[step.ID] = finish
+	marginal := finish - s.chargedLatency
+	if marginal < 0 {
+		marginal = 0
+	}
+	s.chargedLatency += marginal
+	s.mu.Unlock()
+	var vs []budget.Violation
+	if rsv != nil {
+		vs = rsv.Commit(sr.Cost, marginal, acc)
+	} else {
+		vs = s.budget.Charge(step.ID+":"+step.Agent, sr.Cost, marginal, acc)
+	}
+	if len(vs) > 0 && !confirmed && !s.confirmViolations(vs) {
+		err := s.abort(vs[0].String())
+		return stepOutcome{stepID: step.ID, ran: true, err: err}
+	}
+
+	s.mu.Lock()
+	s.outputs[step.ID] = sr.Outputs
+	s.mu.Unlock()
+	return stepOutcome{stepID: step.ID, ran: true}
+}
+
+// snapshotOutputs copies the completed-outputs map so resolveInputs can read
+// it without holding the scheduler lock (per-step maps are written once and
+// never mutated after completion).
+func (s *scheduler) snapshotOutputs() map[string]map[string]any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]map[string]any, len(s.outputs))
+	for k, v := range s.outputs {
+		out[k] = v
+	}
+	return out
+}
+
+// confirmViolations applies the violation policy for an in-flight step:
+// only the Confirm policy can wave execution on, and confirmations are
+// serialized (Coordinator.confirm) so a human (or test) sees one prompt at
+// a time. Abort and Replan fall through to abort — replanning for budget
+// reasons happens only at the whole-plan projection stage.
+func (s *scheduler) confirmViolations(vs []budget.Violation) bool {
+	if s.c.opts.OnViolation != Confirm {
+		return false
+	}
+	return s.c.confirm(vs)
+}
+
+// fail records the first plan-level failure and cancels outstanding work.
+func (s *scheduler) fail(err error) {
+	s.mu.Lock()
+	if s.failErr == nil {
+		s.failErr = err
+	}
+	s.mu.Unlock()
+	s.cancel()
+}
+
+// abort records a budget abort, emits the ABORT control message, and cancels
+// outstanding work. Only the first abort/failure wins; later calls return
+// the recorded error.
+func (s *scheduler) abort(reason string) error {
+	s.mu.Lock()
+	if s.failErr != nil {
+		err := s.failErr
+		s.mu.Unlock()
+		s.cancel()
+		return err
+	}
+	s.res.Aborted = true
+	s.res.AbortReason = reason
+	err := fmt.Errorf("%w: %s", ErrAborted, reason)
+	s.failErr = err
+	s.mu.Unlock()
+	s.cancel()
+	_, _ = s.c.store.Append(streams.Message{
+		Stream: agent.ControlStream(s.session), Kind: streams.Control, Sender: "coordinator",
+		Directive: &streams.Directive{Op: streams.OpAbort, Args: map[string]any{"reason": reason}},
+	})
+	return err
+}

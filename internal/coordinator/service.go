@@ -9,16 +9,29 @@ import (
 	"blueprint/internal/streams"
 )
 
+// DefaultMaxConcurrentPlans bounds how many watched plans one Service
+// executes concurrently; further plans queue behind the semaphore (the
+// subscription buffers them), providing backpressure against a component
+// flooding the session with PLAN directives.
+const DefaultMaxConcurrentPlans = 8
+
 // Service runs the coordinator as a long-lived session participant: it
 // listens to the session control stream for PLAN directives (emitted by the
 // task planner agent or any component) and executes each plan — the "TC
 // listening to any stream with a plan unrolls the plan" behaviour of Fig. 9.
+// Every plan executes on its own goroutine (each with a fresh budget), up to
+// DefaultMaxConcurrentPlans at once, so plans within one session — and
+// services across sessions — run concurrently rather than queueing behind
+// one another.
 type Service struct {
-	c       *Coordinator
-	session string
-	limits  budget.Limits
-	sub     *streams.Subscription
-	wg      sync.WaitGroup
+	c         *Coordinator
+	session   string
+	limits    budget.Limits
+	sub       *streams.Subscription
+	wg        sync.WaitGroup
+	resultCh  chan *Result
+	sem       chan struct{}
+	closeOnce sync.Once
 
 	mu        sync.Mutex
 	results   []*Result
@@ -28,7 +41,11 @@ type Service struct {
 // Serve starts the coordinator service on a session. Each incoming plan is
 // executed with a fresh budget under the given limits.
 func (c *Coordinator) Serve(session string, limits budget.Limits) *Service {
-	s := &Service{c: c, session: session, limits: limits}
+	s := &Service{
+		c: c, session: session, limits: limits,
+		resultCh: make(chan *Result, 64),
+		sem:      make(chan struct{}, DefaultMaxConcurrentPlans),
+	}
 	s.sub = c.store.Subscribe(streams.Filter{
 		Session: session,
 		Kinds:   []streams.Kind{streams.Control},
@@ -49,7 +66,7 @@ func (s *Service) loop() {
 		if !ok {
 			continue
 		}
-		s.execute(payload)
+		s.spawn(payload)
 	}
 }
 
@@ -68,12 +85,27 @@ func (s *Service) WatchPlans() {
 	go func() {
 		defer s.wg.Done()
 		for msg := range sub.C() {
-			s.execute(msg.Payload)
+			s.spawn(msg.Payload)
 		}
 	}()
 	s.mu.Lock()
 	s.extraSubs = append(s.extraSubs, sub)
 	s.mu.Unlock()
+}
+
+// spawn executes one plan payload on its own goroutine, blocking the
+// calling watch loop while DefaultMaxConcurrentPlans executions are already
+// in flight (backpressure; the subscription queues further messages).
+func (s *Service) spawn(payload any) {
+	s.sem <- struct{}{}
+	s.wg.Add(1)
+	go func() {
+		defer func() {
+			<-s.sem
+			s.wg.Done()
+		}()
+		s.execute(payload)
+	}()
 }
 
 func (s *Service) execute(payload any) {
@@ -98,7 +130,24 @@ func (s *Service) execute(payload any) {
 			})
 		}
 	}
+	if res != nil {
+		// Announce completion on the event-driven result channel. The
+		// channel is buffered and never blocks execution: with no consumer,
+		// results beyond the buffer are dropped from the channel (Results
+		// still returns everything).
+		select {
+		case s.resultCh <- res:
+		default:
+		}
+	}
 }
+
+// ResultC delivers each completed plan result as it finishes — the
+// event-driven alternative to polling Results — and is closed by Stop once
+// every in-flight execution has drained, so ranging over it terminates.
+// Consumers that fall more than the channel buffer behind miss older
+// results; Results retains the complete history.
+func (s *Service) ResultC() <-chan *Result { return s.resultCh }
 
 // Results returns the plans executed so far.
 func (s *Service) Results() []*Result {
@@ -107,7 +156,8 @@ func (s *Service) Results() []*Result {
 	return append([]*Result(nil), s.results...)
 }
 
-// Stop cancels subscriptions and waits for in-flight executions.
+// Stop cancels subscriptions, waits for in-flight executions, and closes
+// the result channel. Safe to call more than once.
 func (s *Service) Stop() {
 	s.sub.Cancel()
 	s.mu.Lock()
@@ -118,4 +168,5 @@ func (s *Service) Stop() {
 		sub.Cancel()
 	}
 	s.wg.Wait()
+	s.closeOnce.Do(func() { close(s.resultCh) })
 }

@@ -12,6 +12,11 @@ import (
 	"time"
 )
 
+// Short reduces iteration counts, fan-out widths and simulated latencies so
+// a smoke run (make bench-smoke, cmd/benchharness -short) finishes in
+// seconds while still exercising every measured path.
+var Short bool
+
 // Metric is one measured value.
 type Metric struct {
 	Name  string
@@ -26,7 +31,7 @@ type Row struct {
 
 // Table is one experiment's result.
 type Table struct {
-	ID    string // "F1".."F10", "A1".."A4"
+	ID    string // "F1".."F10", "A1".."A5"
 	Title string
 	Rows  []Row
 	Notes []string
@@ -77,6 +82,7 @@ func All(seed int64) ([]*Table, error) {
 		{"A2", AblationOptimizer},
 		{"A3", AblationStreams},
 		{"A4", AblationPlanCache},
+		{"A5", AblationScheduler},
 	}
 	out := make([]*Table, 0, len(exps))
 	for _, e := range exps {

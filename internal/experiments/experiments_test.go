@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -17,8 +18,8 @@ func TestAllExperimentsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 14 {
-		t.Fatalf("tables = %d, want 14", len(tables))
+	if len(tables) != 15 {
+		t.Fatalf("tables = %d, want 15", len(tables))
 	}
 	byID := map[string]*Table{}
 	for _, tb := range tables {
@@ -113,6 +114,29 @@ func TestAllExperimentsRun(t *testing.T) {
 	}
 	if a4["cached"]["hits"] != "1996" || a4["cached"]["misses"] != "4" {
 		t.Errorf("A4 cache counters = %v", a4["cached"])
+	}
+
+	// A5: the concurrent scheduler must finish the fan-out plan in two
+	// waves, well under the sequential baseline. The threshold here is
+	// deliberately looser than the ~5x the scheduler delivers (and the
+	// >= 2x the bench harness demonstrates): full serialization measures
+	// ~1.0x, so 1.5x catches the regression without making a CI-gating
+	// test flaky on loaded runners.
+	a5 := map[string]map[string]string{}
+	for _, r := range byID["A5"].Rows {
+		a5[r.Series] = map[string]string{}
+		for _, m := range r.Metrics {
+			a5[r.Series][m.Name] = m.Value
+		}
+	}
+	if a5["parallel"]["waves"] != "2" {
+		t.Errorf("A5 waves = %v", a5["parallel"])
+	}
+	var speedup float64
+	if _, err := fmt.Sscanf(a5["parallel"]["speedup"], "%fx", &speedup); err != nil {
+		t.Errorf("A5 speedup unparsable: %v (%v)", err, a5["parallel"])
+	} else if speedup < 1.5 {
+		t.Errorf("A5 fan-out speedup = %.2fx, want >= 1.5x (serialization regression)", speedup)
 	}
 }
 

@@ -245,22 +245,64 @@ func AssignAgents(p *planner.Plan, reg *registry.AgentRegistry, obj Objectives, 
 	return changed, nil
 }
 
-// EstimatePlan sums a task plan's projected cost and latency from the
+// EstimatePlan projects a task plan's cost, latency and accuracy from the
 // registered QoS profiles — the projection the coordinator hands to the
 // budget before execution (§V-H "along with an initial budget and projected
 // costs estimated by the optimizer").
+//
+// Cost sums over every step and accuracy multiplies through, but latency is
+// the critical path over the plan's dependency DAG: steps in the same
+// topological wave execute concurrently under the coordinator's scheduler,
+// so a fan-out plan's projected latency is its longest dependency chain, not
+// the sum of all steps. Without this, parallel plans would be falsely
+// rejected as over a latency budget they comfortably meet. Malformed plans
+// (cycles) fall back to the conservative sequential sum.
 func EstimatePlan(p *planner.Plan, reg *registry.AgentRegistry) (cost float64, latency time.Duration, accuracy float64) {
 	accuracy = 1.0
+	stepLat := make(map[string]time.Duration, len(p.Steps))
 	for _, s := range p.Steps {
 		spec, err := reg.Get(s.Agent)
 		if err != nil {
 			continue
 		}
 		cost += spec.QoS.CostPerCall
-		latency += spec.QoS.Latency
+		stepLat[s.ID] = spec.QoS.Latency
 		if spec.QoS.Accuracy > 0 {
 			accuracy *= spec.QoS.Accuracy
 		}
 	}
+	latency = CriticalPath(p, stepLat)
 	return cost, latency, accuracy
+}
+
+// CriticalPath computes the longest dependency chain through the plan,
+// weighting each step by stepLat (steps absent from the map weigh zero).
+// Falls back to the sum of all weights when the plan is not a valid DAG.
+func CriticalPath(p *planner.Plan, stepLat map[string]time.Duration) time.Duration {
+	waves, err := p.Waves()
+	if err != nil {
+		var sum time.Duration
+		for _, d := range stepLat {
+			sum += d
+		}
+		return sum
+	}
+	deps := p.Deps()
+	finish := make(map[string]time.Duration, len(p.Steps))
+	var longest time.Duration
+	for _, wave := range waves {
+		for _, id := range wave {
+			var start time.Duration
+			for _, d := range deps[id] {
+				if finish[d] > start {
+					start = finish[d]
+				}
+			}
+			finish[id] = start + stepLat[id]
+			if finish[id] > longest {
+				longest = finish[id]
+			}
+		}
+	}
+	return longest
 }

@@ -2,6 +2,7 @@ package optimizer
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -218,13 +219,16 @@ func TestAssignAgents(t *testing.T) {
 	}
 }
 
-func TestEstimatePlan(t *testing.T) {
+func TestEstimatePlanChain(t *testing.T) {
 	reg := optimizerRegistry(t)
+	// s1 -> s2 -> s3: a chain's critical path is the sum of its steps.
 	p := &planner.Plan{
 		Steps: []planner.Step{
 			{ID: "s1", Agent: "MATCHER_PREMIUM"},
-			{ID: "s2", Agent: "MATCHER_BUDGET"},
-			{ID: "s3", Agent: "UNKNOWN"},
+			{ID: "s2", Agent: "MATCHER_BUDGET",
+				Bindings: map[string]planner.Binding{"IN": {FromStep: "s1", FromParam: "OUT"}}},
+			{ID: "s3", Agent: "UNKNOWN",
+				Bindings: map[string]planner.Binding{"IN": {FromStep: "s2", FromParam: "OUT"}}},
 		},
 	}
 	cost, lat, acc := EstimatePlan(p, reg)
@@ -237,5 +241,46 @@ func TestEstimatePlan(t *testing.T) {
 	want := 0.97 * 0.8
 	if acc < want-1e-9 || acc > want+1e-9 {
 		t.Fatalf("accuracy = %v", acc)
+	}
+}
+
+func TestEstimatePlanCriticalPathOverDAG(t *testing.T) {
+	reg := optimizerRegistry(t)
+	// s1 and s2 are independent (one wave): latency is the slower of the
+	// two, not the sum — cost still sums over both.
+	p := &planner.Plan{
+		Steps: []planner.Step{
+			{ID: "s1", Agent: "MATCHER_PREMIUM"},
+			{ID: "s2", Agent: "MATCHER_BUDGET"},
+		},
+	}
+	cost, lat, _ := EstimatePlan(p, reg)
+	if lat != 200*time.Millisecond {
+		t.Fatalf("fan-out latency = %v, want max(200ms, 20ms)", lat)
+	}
+	if cost < 0.052-1e-9 || cost > 0.052+1e-9 {
+		t.Fatalf("cost = %v", cost)
+	}
+
+	// Diamond: s1 -> {s2, s3} -> s4. Critical path runs through the slowest
+	// middle step.
+	dep := func(from ...string) map[string]planner.Binding {
+		b := map[string]planner.Binding{}
+		for i, f := range from {
+			b[fmt.Sprintf("IN%d", i)] = planner.Binding{FromStep: f, FromParam: "OUT"}
+		}
+		return b
+	}
+	diamond := &planner.Plan{
+		Steps: []planner.Step{
+			{ID: "s1", Agent: "MATCHER_BUDGET"},
+			{ID: "s2", Agent: "MATCHER_PREMIUM", Bindings: dep("s1")},
+			{ID: "s3", Agent: "MATCHER_BUDGET", Bindings: dep("s1")},
+			{ID: "s4", Agent: "MATCHER_BUDGET", Bindings: dep("s2", "s3")},
+		},
+	}
+	_, lat, _ = EstimatePlan(diamond, reg)
+	if want := (20 + 200 + 20) * time.Millisecond; lat != want {
+		t.Fatalf("diamond latency = %v, want %v", lat, want)
 	}
 }

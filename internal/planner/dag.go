@@ -1,0 +1,90 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Deps derives the plan's explicit step-dependency DAG from its bindings:
+// for every step, the sorted, deduplicated IDs of the steps whose outputs it
+// consumes (FromStep bindings). Steps absent from the result have no
+// dependencies. The task coordinator schedules execution from this relation,
+// dispatching every step whose dependencies are satisfied concurrently.
+func (p *Plan) Deps() map[string][]string {
+	deps := make(map[string][]string, len(p.Steps))
+	for _, s := range p.Steps {
+		seen := map[string]bool{}
+		var ds []string
+		for _, b := range s.Bindings {
+			if b.FromStep != "" && !seen[b.FromStep] {
+				seen[b.FromStep] = true
+				ds = append(ds, b.FromStep)
+			}
+		}
+		if len(ds) > 0 {
+			sort.Strings(ds)
+			deps[s.ID] = ds
+		}
+	}
+	return deps
+}
+
+// Waves groups the plan's steps into topological waves: wave 0 holds the
+// steps with no dependencies, wave k+1 the steps whose dependencies all lie
+// in waves <= k. Steps within one wave are mutually independent, so a
+// fan-out plan with N independent steps yields a single wave of N — the
+// shape the concurrent scheduler exploits and the optimizer's critical-path
+// projection reasons over. Returns an error when a binding references an
+// unknown step or the dependencies form a cycle.
+func (p *Plan) Waves() ([][]string, error) {
+	known := make(map[string]bool, len(p.Steps))
+	for _, s := range p.Steps {
+		known[s.ID] = true
+	}
+	deps := p.Deps()
+	indeg := make(map[string]int, len(p.Steps))
+	children := map[string][]string{}
+	for _, s := range p.Steps {
+		for _, d := range deps[s.ID] {
+			if !known[d] {
+				return nil, fmt.Errorf("planner: step %s depends on unknown step %q", s.ID, d)
+			}
+			indeg[s.ID]++
+			children[d] = append(children[d], s.ID)
+		}
+	}
+
+	var waves [][]string
+	var frontier []string
+	for _, s := range p.Steps { // plan order keeps waves deterministic
+		if indeg[s.ID] == 0 {
+			frontier = append(frontier, s.ID)
+		}
+	}
+	placed := 0
+	for len(frontier) > 0 {
+		waves = append(waves, frontier)
+		placed += len(frontier)
+		var next []string
+		for _, id := range frontier {
+			for _, child := range children[id] {
+				indeg[child]--
+				if indeg[child] == 0 {
+					next = append(next, child)
+				}
+			}
+		}
+		sort.Strings(next)
+		frontier = next
+	}
+	if placed != len(p.Steps) {
+		var stuck []string
+		for _, s := range p.Steps {
+			if indeg[s.ID] > 0 {
+				stuck = append(stuck, s.ID)
+			}
+		}
+		return nil, fmt.Errorf("planner: dependency cycle among steps %v", stuck)
+	}
+	return waves, nil
+}

@@ -1,0 +1,104 @@
+package planner
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fanOutPlan: s1 feeds s2, s3, s4 (independent), which all feed s5.
+func fanOutPlan() *Plan {
+	dep := func(from string) map[string]Binding {
+		return map[string]Binding{"IN": {FromStep: from, FromParam: "OUT"}}
+	}
+	return &Plan{
+		ID: "fan", Utterance: "x",
+		Steps: []Step{
+			{ID: "s1", Agent: "A"},
+			{ID: "s2", Agent: "B", Bindings: dep("s1")},
+			{ID: "s3", Agent: "C", Bindings: dep("s1")},
+			{ID: "s4", Agent: "D", Bindings: dep("s1")},
+			{ID: "s5", Agent: "E", Bindings: map[string]Binding{
+				"X": {FromStep: "s2", FromParam: "OUT"},
+				"Y": {FromStep: "s3", FromParam: "OUT"},
+				"Z": {FromStep: "s4", FromParam: "OUT"},
+			}},
+		},
+	}
+}
+
+func TestDepsDerivation(t *testing.T) {
+	p := fanOutPlan()
+	deps := p.Deps()
+	if _, ok := deps["s1"]; ok {
+		t.Fatalf("s1 has no deps, got %v", deps["s1"])
+	}
+	for _, id := range []string{"s2", "s3", "s4"} {
+		if !reflect.DeepEqual(deps[id], []string{"s1"}) {
+			t.Fatalf("deps[%s] = %v", id, deps[id])
+		}
+	}
+	if !reflect.DeepEqual(deps["s5"], []string{"s2", "s3", "s4"}) {
+		t.Fatalf("deps[s5] = %v", deps["s5"])
+	}
+}
+
+func TestWavesFanOut(t *testing.T) {
+	p := fanOutPlan()
+	waves, err := p.Waves()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"s1"}, {"s2", "s3", "s4"}, {"s5"}}
+	if !reflect.DeepEqual(waves, want) {
+		t.Fatalf("waves = %v, want %v", waves, want)
+	}
+}
+
+func TestWavesIndependentSteps(t *testing.T) {
+	p := &Plan{Steps: []Step{
+		{ID: "a", Agent: "A"}, {ID: "b", Agent: "B"}, {ID: "c", Agent: "C"},
+	}}
+	waves, err := p.Waves()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(waves) != 1 || len(waves[0]) != 3 {
+		t.Fatalf("independent steps must form one wave: %v", waves)
+	}
+}
+
+// Forward references (a step listed before its producer) are valid DAGs now
+// that the scheduler derives order from dependencies, not listing order.
+func TestValidateAllowsForwardReferences(t *testing.T) {
+	p := &Plan{Steps: []Step{
+		{ID: "s2", Agent: "B", Bindings: map[string]Binding{"IN": {FromStep: "s1", FromParam: "OUT"}}},
+		{ID: "s1", Agent: "A"},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("forward reference rejected: %v", err)
+	}
+	waves, err := p.Waves()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"s1"}, {"s2"}}
+	if !reflect.DeepEqual(waves, want) {
+		t.Fatalf("waves = %v, want %v", waves, want)
+	}
+}
+
+func TestValidateRejectsCycles(t *testing.T) {
+	cyclic := &Plan{Steps: []Step{
+		{ID: "s1", Agent: "A", Bindings: map[string]Binding{"IN": {FromStep: "s2", FromParam: "OUT"}}},
+		{ID: "s2", Agent: "B", Bindings: map[string]Binding{"IN": {FromStep: "s1", FromParam: "OUT"}}},
+	}}
+	if err := cyclic.Validate(); err == nil {
+		t.Fatal("cycle validated")
+	}
+	self := &Plan{Steps: []Step{
+		{ID: "s1", Agent: "A", Bindings: map[string]Binding{"IN": {FromStep: "s1", FromParam: "OUT"}}},
+	}}
+	if err := self.Validate(); err == nil {
+		t.Fatal("self-dependency validated")
+	}
+}

@@ -116,9 +116,8 @@ func (ip *IncrementalPlan) Next() (Step, bool, error) {
 // Materialize returns the steps emitted so far as a static Plan (for the
 // coordinator or for presenting to the user mid-flight).
 func (ip *IncrementalPlan) Materialize() *Plan {
-	ip.tp.nextID++
 	return &Plan{
-		ID:        fmt.Sprintf("plan-inc-%d", ip.tp.nextID),
+		ID:        fmt.Sprintf("plan-inc-%d", ip.tp.nextID.Add(1)),
 		Utterance: ip.utterance,
 		Intent:    ip.intent,
 		Steps:     append([]Step(nil), ip.steps...),

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"blueprint/internal/llm"
 	"blueprint/internal/nlq"
@@ -62,7 +63,11 @@ type Plan struct {
 	Explanation []string `json:"explanation,omitempty"`
 }
 
-// Validate checks plan well-formedness.
+// Validate checks plan well-formedness: every step named and assigned,
+// no duplicate IDs, every FromStep binding resolving to a plan step, and the
+// dependency relation forming a DAG (cycle check via Waves). Steps need not
+// be listed in topological order — the coordinator's scheduler derives the
+// execution order from the dependency DAG.
 func (p *Plan) Validate() error {
 	if len(p.Steps) == 0 {
 		return fmt.Errorf("planner: empty plan")
@@ -75,12 +80,17 @@ func (p *Plan) Validate() error {
 		if seen[s.ID] {
 			return fmt.Errorf("planner: duplicate step id %q", s.ID)
 		}
+		seen[s.ID] = true
+	}
+	for _, s := range p.Steps {
 		for param, b := range s.Bindings {
 			if b.FromStep != "" && !seen[b.FromStep] {
-				return fmt.Errorf("planner: step %s input %s depends on %q which is not an earlier step", s.ID, param, b.FromStep)
+				return fmt.Errorf("planner: step %s input %s depends on %q which is not a plan step", s.ID, param, b.FromStep)
 			}
 		}
-		seen[s.ID] = true
+	}
+	if _, err := p.Waves(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -187,12 +197,14 @@ func DefaultTemplates() Templates {
 	}
 }
 
-// TaskPlanner produces task plans from utterances.
+// TaskPlanner produces task plans from utterances. It is safe for
+// concurrent use: sessions share one planner, and the coordinator's
+// concurrent services may plan and replan in parallel.
 type TaskPlanner struct {
 	reg       *registry.AgentRegistry
 	model     *llm.Model
 	templates Templates
-	nextID    int
+	nextID    atomic.Int64
 }
 
 // New creates a task planner over an agent registry. The model classifies
@@ -212,9 +224,8 @@ func (tp *TaskPlanner) Plan(utterance string) (*Plan, error) {
 		subtasks = tp.templates["open_query"]
 		intent = "open_query"
 	}
-	tp.nextID++
 	plan := &Plan{
-		ID:        fmt.Sprintf("plan-%d", tp.nextID),
+		ID:        fmt.Sprintf("plan-%d", tp.nextID.Add(1)),
 		Utterance: utterance,
 		Intent:    intent,
 	}
@@ -297,9 +308,8 @@ func (tp *TaskPlanner) Replan(p *Plan, failedStepID string) (*Plan, error) {
 	if alt == nil {
 		return nil, fmt.Errorf("planner: no alternative agent for step %q (%s)", failedStepID, step.Task)
 	}
-	tp.nextID++
 	np := &Plan{
-		ID:        fmt.Sprintf("plan-%d", tp.nextID),
+		ID:        fmt.Sprintf("plan-%d", tp.nextID.Add(1)),
 		Utterance: p.Utterance,
 		Intent:    p.Intent,
 		Steps:     make([]Step, len(p.Steps)),

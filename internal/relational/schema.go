@@ -118,7 +118,7 @@ type DB struct {
 	tables map[string]*table
 	order  []string
 	// stmts amortizes lexing/parsing across repeated Query/Exec/Prepare
-	// calls; DDL flushes it (see stmt.go).
+	// calls; DDL flushes the altered table's statements (see stmt.go).
 	stmts *stmtCache
 }
 
@@ -151,7 +151,7 @@ func (db *DB) CreateTable(name string, schema Schema) error {
 	}
 	db.tables[key] = &table{name: name, schema: schema, indexes: make(map[string]*indexDef)}
 	db.order = append(db.order, key)
-	db.stmts.invalidate()
+	db.stmts.invalidateTable(name)
 	return nil
 }
 
@@ -170,7 +170,7 @@ func (db *DB) DropTable(name string) error {
 			break
 		}
 	}
-	db.stmts.invalidate()
+	db.stmts.invalidateTable(name)
 	return nil
 }
 
@@ -321,7 +321,7 @@ func (db *DB) CreateIndex(idxName, tableName, column string, kind IndexKind) err
 		}
 	}
 	t.indexes[key] = ix
-	db.stmts.invalidate()
+	db.stmts.invalidateTable(tableName)
 	return nil
 }
 

@@ -2,6 +2,7 @@ package relational
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 )
 
@@ -61,7 +62,10 @@ type CacheStats struct {
 	Misses uint64
 	// Evictions counts entries dropped by the LRU bound.
 	Evictions uint64
-	// Invalidations counts whole-cache flushes triggered by DDL.
+	// Invalidations counts DDL-triggered flush events. Invalidation is
+	// per-table: each DDL statement flushes only the cached statements
+	// referencing the altered table, so hot statements over other tables
+	// keep their parsed form.
 	Invalidations uint64
 	// Size is the current number of cached statements.
 	Size int
@@ -92,7 +96,7 @@ func (db *DB) SetStmtCacheCapacity(n int) { db.stmts.setCapacity(n) }
 
 // parseCached returns the parsed form of sql, consulting the statement
 // cache first. Only DML/query statements are cached: DDL is rare, and
-// executing it flushes the cache anyway.
+// executing it invalidates the touched table's statements anyway.
 func (db *DB) parseCached(sql string) (Statement, error) {
 	if st, ok := db.stmts.lookup(sql); ok {
 		return st, nil
@@ -102,7 +106,7 @@ func (db *DB) parseCached(sql string) (Statement, error) {
 		return nil, err
 	}
 	if cacheableStmt(st) {
-		db.stmts.insert(sql, st)
+		db.stmts.insert(sql, st, stmtTables(st))
 	}
 	return st, nil
 }
@@ -117,10 +121,43 @@ func cacheableStmt(st Statement) bool {
 	}
 }
 
+// stmtTables returns the lowercased base-table names a cacheable statement
+// references (the FROM table plus joined tables for SELECT; the target table
+// for DML) — the invalidation key set for per-table DDL flushes.
+func stmtTables(st Statement) []string {
+	switch s := st.(type) {
+	case *SelectStmt:
+		out := []string{strings.ToLower(s.From.Table)}
+		for _, j := range s.Joins {
+			t := strings.ToLower(j.Table.Table)
+			dup := false
+			for _, have := range out {
+				if have == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, t)
+			}
+		}
+		return out
+	case *InsertStmt:
+		return []string{strings.ToLower(s.Table)}
+	case *UpdateStmt:
+		return []string{strings.ToLower(s.Table)}
+	case *DeleteStmt:
+		return []string{strings.ToLower(s.Table)}
+	default:
+		return nil
+	}
+}
+
 // stmtCache is a concurrency-safe bounded LRU of parsed statements keyed by
-// SQL text. Executing any DDL (CREATE/DROP TABLE, CREATE INDEX) flushes it:
-// parsed plans are cheap to rebuild and correctness beats cleverness on the
-// invalidation path.
+// SQL text. DDL (CREATE/DROP TABLE, CREATE INDEX) invalidates per table:
+// only the cached statements referencing the altered table are flushed, so
+// the hot paths of untouched tables keep their parsed plans across schema
+// churn elsewhere (e.g. scratch tables created and dropped by agents).
 type stmtCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -134,8 +171,9 @@ type stmtCache struct {
 }
 
 type stmtEntry struct {
-	sql string
-	st  Statement
+	sql    string
+	st     Statement
+	tables []string // lowercased tables the statement touches
 }
 
 func newStmtCache(capacity int) *stmtCache {
@@ -158,7 +196,7 @@ func (c *stmtCache) lookup(sql string) (Statement, bool) {
 	return nil, false
 }
 
-func (c *stmtCache) insert(sql string, st Statement) {
+func (c *stmtCache) insert(sql string, st Statement, tables []string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cap <= 0 {
@@ -170,7 +208,7 @@ func (c *stmtCache) insert(sql string, st Statement) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	el := c.ll.PushFront(&stmtEntry{sql: sql, st: st})
+	el := c.ll.PushFront(&stmtEntry{sql: sql, st: st, tables: tables})
 	c.entries[sql] = el
 	for c.ll.Len() > c.cap {
 		c.evictOldestLocked()
@@ -187,13 +225,25 @@ func (c *stmtCache) evictOldestLocked() {
 	c.evictions++
 }
 
-// invalidate flushes every cached statement (called after successful DDL).
-func (c *stmtCache) invalidate() {
+// invalidateTable flushes the cached statements referencing the given table
+// (called after successful DDL on it). Statements over other tables stay
+// resident: a scratch-table CREATE/DROP no longer evicts the enterprise hot
+// path. DDL is rare, so the linear sweep over at most cap entries is cheap.
+func (c *stmtCache) invalidateTable(table string) {
+	key := strings.ToLower(table)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if len(c.entries) > 0 {
-		c.ll.Init()
-		c.entries = make(map[string]*list.Element)
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*stmtEntry)
+		for _, t := range e.tables {
+			if t == key {
+				c.ll.Remove(el)
+				delete(c.entries, e.sql)
+				break
+			}
+		}
 	}
 	c.invalidations++
 }

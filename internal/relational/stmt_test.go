@@ -114,9 +114,11 @@ func TestStmtCacheCounters(t *testing.T) {
 	}
 }
 
-// DDL must flush the cache so no stale plan survives a schema change: the
-// same SQL text must observe a table recreated with a different shape, and
-// a new index must show up in the chosen access path.
+// DDL must flush the altered table's cached statements so no stale plan
+// survives a schema change: the same SQL text must observe a table recreated
+// with a different shape, and a new index must show up in the chosen access
+// path. (Every statement cached here touches jobs, so the jobs DDL empties
+// the cache; see TestStmtCachePerTableInvalidation for selectivity.)
 func TestStmtCacheDDLInvalidation(t *testing.T) {
 	db := stmtTestDB(t)
 	const q = `SELECT id FROM jobs WHERE id = 3`
@@ -170,6 +172,64 @@ func TestStmtCacheDDLInvalidation(t *testing.T) {
 	}
 	if len(wide.Columns) != 2 || wide.Rows[0][1].S != "fresh" {
 		t.Errorf("recreated schema: columns=%v rows=%v", wide.Columns, wide.Rows)
+	}
+}
+
+// DDL invalidation is per table: altering one table must flush only the
+// statements referencing it, leaving other tables' hot statements resident.
+func TestStmtCachePerTableInvalidation(t *testing.T) {
+	db := stmtTestDB(t)
+	if _, err := db.Exec(`CREATE TABLE users (id INT, name TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO users VALUES (1, 'ada')`); err != nil {
+		t.Fatal(err)
+	}
+	const jobsQ = `SELECT id FROM jobs WHERE id = 3`
+	const usersQ = `SELECT name FROM users WHERE id = 1`
+	for _, q := range []string{jobsQ, usersQ} { // warm both
+		if _, err := db.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// DDL on jobs: the users statement must survive, the jobs one must not.
+	if _, err := db.Exec(`CREATE INDEX i_jobs_id ON jobs (id)`); err != nil {
+		t.Fatal(err)
+	}
+	db.ResetCacheStats()
+	if _, err := db.Query(usersQ); err != nil {
+		t.Fatal(err)
+	}
+	if stats := db.CacheStats(); stats.Hits != 1 || stats.Misses != 0 {
+		t.Errorf("users statement flushed by jobs DDL: %+v", stats)
+	}
+	db.ResetCacheStats()
+	res, err := db.Query(jobsQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats := db.CacheStats(); stats.Misses != 1 {
+		t.Errorf("jobs statement survived jobs DDL: %+v", stats)
+	}
+	if !strings.Contains(res.Plan, "IndexScan") {
+		t.Errorf("reparsed jobs plan = %q, want IndexScan", res.Plan)
+	}
+
+	// Join statements are invalidated by DDL on either side.
+	const joinQ = `SELECT jobs.title, users.name FROM jobs JOIN users ON jobs.id = users.id`
+	if _, err := db.Query(joinQ); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE INDEX i_users_id ON users (id)`); err != nil {
+		t.Fatal(err)
+	}
+	db.ResetCacheStats()
+	if _, err := db.Query(joinQ); err != nil {
+		t.Fatal(err)
+	}
+	if stats := db.CacheStats(); stats.Misses != 1 {
+		t.Errorf("join statement survived users DDL: %+v", stats)
 	}
 }
 

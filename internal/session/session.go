@@ -10,7 +10,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"blueprint/internal/agent"
 	"blueprint/internal/streams"
@@ -22,6 +24,9 @@ var (
 	ErrSessionNotFound = errors.New("session: session not found")
 	ErrAgentActive     = errors.New("session: agent already active")
 	ErrAgentInactive   = errors.New("session: agent not active")
+	// ErrNoDisplay is returned by AwaitDisplay when no matching display
+	// output arrives before the deadline.
+	ErrNoDisplay = errors.New("session: no display output before deadline")
 )
 
 // UserStream is the stream carrying user utterances for a session.
@@ -249,6 +254,41 @@ func (s *Session) Display() []string {
 		out = append(out, m.PayloadString())
 	}
 	return out
+}
+
+// AwaitDisplay blocks until the display stream carries a message at index
+// >= from whose payload contains substr (empty matches anything), returning
+// its payload. The wait is event-driven: a streams subscription (with
+// replay, so outputs that raced ahead are not missed) delivers display
+// messages as they are appended — no polling, no sleeps — which is what
+// keeps multi-session request/response throughput bound by the hardware
+// rather than a poll interval. ErrNoDisplay is returned on timeout.
+func (s *Session) AwaitDisplay(from int, substr string, timeout time.Duration) (string, error) {
+	sub := s.store.Subscribe(streams.Filter{
+		Streams: []string{agent.DisplayStream(s.ID)},
+	}, true)
+	defer sub.Cancel()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	idx := 0
+	for {
+		select {
+		case msg, ok := <-sub.C():
+			if !ok {
+				return "", fmt.Errorf("%w: %s (stream closed)", ErrNoDisplay, s.ID)
+			}
+			i := idx
+			idx++
+			if i < from {
+				continue
+			}
+			if text := msg.PayloadString(); substr == "" || strings.Contains(text, substr) {
+				return text, nil
+			}
+		case <-timer.C:
+			return "", fmt.Errorf("%w: %s after %s", ErrNoDisplay, s.ID, timeout)
+		}
+	}
 }
 
 // History returns every message in this session scope (including

@@ -198,3 +198,53 @@ func TestCloseIdempotentAndAddAfterClose(t *testing.T) {
 		t.Fatal("spawn on closed session succeeded")
 	}
 }
+
+// AwaitDisplay must wake on the display append itself (event-driven), find
+// messages that raced ahead of the call, respect the `from` index, and time
+// out with ErrNoDisplay.
+func TestAwaitDisplayEventDriven(t *testing.T) {
+	store, m := newEnv(t)
+	s, _ := m.Create("")
+	defer s.Close()
+	display := agent.DisplayStream(s.ID)
+	post := func(text string) {
+		t.Helper()
+		if _, err := store.Append(streams.Message{
+			Stream: display, Session: s.ID, Kind: streams.Data,
+			Sender: "tester", Payload: text,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Future append wakes a waiting call.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		out, err := s.AwaitDisplay(0, "hello", 5*time.Second)
+		if err != nil || out != "hello world" {
+			t.Errorf("await = %q, %v", out, err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter subscribe
+	post("hello world")
+	<-done
+
+	// Replay: a message already on the stream is found without new traffic.
+	out, err := s.AwaitDisplay(0, "", time.Second)
+	if err != nil || out != "hello world" {
+		t.Fatalf("replay await = %q, %v", out, err)
+	}
+
+	// from skips already-consumed outputs.
+	post("second")
+	out, err = s.AwaitDisplay(1, "", time.Second)
+	if err != nil || out != "second" {
+		t.Fatalf("from-indexed await = %q, %v", out, err)
+	}
+
+	// Timeout yields ErrNoDisplay.
+	if _, err := s.AwaitDisplay(len(s.Display()), "", 30*time.Millisecond); !errors.Is(err, ErrNoDisplay) {
+		t.Fatalf("timeout err = %v", err)
+	}
+}

@@ -48,26 +48,43 @@ func (s *Store) Subscribe(filter Filter, replay bool) *Subscription {
 	}
 	s.nextSub++
 	sub.id = s.nextSub
-	var backlog []Message
 	if replay {
-		for _, id := range s.order {
-			st := s.streams[id]
+		// A stream-scoped filter only needs those streams' histories; the
+		// full-store sweep (still used for unscoped filters) would make
+		// every replay subscription O(total store messages) under the store
+		// lock — a per-request cost that grows with global history.
+		scan := s.order
+		if len(filter.Streams) > 0 {
+			scan = make([]string, 0, len(filter.Streams))
+			seen := make(map[string]bool, len(filter.Streams))
+			for _, id := range filter.Streams {
+				if !seen[id] {
+					seen[id] = true
+					scan = append(scan, id)
+				}
+			}
+		}
+		var backlog []Message
+		for _, id := range scan {
+			st, ok := s.streams[id]
+			if !ok {
+				continue
+			}
 			for i := range st.msgs {
 				if filter.Matches(&st.msgs[i]) {
 					backlog = append(backlog, st.msgs[i].Clone())
 				}
 			}
 		}
+		// Seed the backlog before the subscription becomes visible to
+		// appenders: once s.subs holds it, a concurrent Append may enqueue
+		// a live message, and replayed history must still sort first.
+		sortByTS(backlog)
+		sub.pending = backlog
 	}
 	s.subs[sub.id] = sub
 	s.mu.Unlock()
 
-	if len(backlog) > 0 {
-		sortByTS(backlog)
-		sub.mu.Lock()
-		sub.pending = append(sub.pending, backlog...)
-		sub.mu.Unlock()
-	}
 	go sub.pump()
 	return sub
 }

@@ -3,7 +3,6 @@ package blueprint
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"time"
 
 	"blueprint/internal/agent"
@@ -181,22 +180,15 @@ func (sess *Session) Click(event map[string]any, timeout time.Duration) (string,
 	return sess.awaitDisplay(before, "", timeout)
 }
 
-// awaitDisplay waits for a display message beyond index `from` containing
-// substr (empty matches anything).
+// awaitDisplay waits, event-driven (no polling — see session.AwaitDisplay),
+// for a display message beyond index `from` containing substr (empty matches
+// anything).
 func (sess *Session) awaitDisplay(from int, substr string, timeout time.Duration) (string, error) {
-	deadline := time.Now().Add(timeout)
-	for {
-		display := sess.Display()
-		for i := from; i < len(display); i++ {
-			if substr == "" || strings.Contains(display[i], substr) {
-				return display[i], nil
-			}
-		}
-		if time.Now().After(deadline) {
-			return "", fmt.Errorf("%w (%s)", ErrNoResponse, timeout)
-		}
-		time.Sleep(2 * time.Millisecond)
+	out, err := sess.Session.AwaitDisplay(from, substr, timeout)
+	if err != nil {
+		return "", fmt.Errorf("%w (%s)", ErrNoResponse, timeout)
 	}
+	return out, nil
 }
 
 // ExecuteUtterance runs the full §V pipeline synchronously: plan the
