@@ -31,10 +31,16 @@ fmt-check:
 bench:
 	$(GO) test ./internal/relational/ -run XXX -bench . -benchmem
 
-# Scheduler smoke run: regenerates the A5 table (concurrent DAG scheduler
-# fan-out speedup + multi-session throughput) in short mode. CI runs this on
-# every push so scheduler regressions surface immediately.
+# Smoke run for the concurrency/reuse layers: regenerates the A5 table
+# (concurrent DAG scheduler fan-out speedup + multi-session throughput) and
+# the A6 table (step-result memoization: repeated-ask speedup, cross-session
+# single-flight dedup, invalidation) in short mode. A6 enforces its own
+# invariants — a warm run that re-executes (hit-rate collapse) or a
+# concurrent identical workload that does not coalesce (dedup loss) makes
+# the run fail. CI runs this on every push so regressions surface
+# immediately.
 bench-smoke:
 	$(GO) run ./cmd/benchharness -fig A5 -short
+	$(GO) run ./cmd/benchharness -fig A6 -short
 
 ci: fmt-check vet build race bench-smoke

@@ -336,6 +336,31 @@ func BenchmarkAblation_MultiSessionAsk(b *testing.B) {
 	b.ReportMetric(float64(sessions), "asks/op")
 }
 
+// BenchmarkAblation_MemoColdVsWarmAsk measures a repeated utterance's plan
+// execution when every step is served from the step-result memoization
+// cache (the A6 warm path): the first execution warms the cache, each
+// iteration then re-plans and executes at the residual cost (the criteria
+// transform) with all plan steps hitting memo.
+func BenchmarkAblation_MemoColdVsWarmAsk(b *testing.B) {
+	sys, s := benchSystem(b)
+	const utterance = "find me a data scientist job in san francisco"
+	if _, _, err := s.ExecuteUtterance(utterance); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := s.ExecuteUtterance(utterance)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Budget.MemoHits != len(res.Steps) {
+			b.Fatalf("memo hits = %d of %d steps", res.Budget.MemoHits, len(res.Steps))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(sys.MemoStats().HitRate()*100, "hit%")
+}
+
 // BenchmarkAblation_BudgetCharge measures one budget charge+check (§V-H).
 func BenchmarkAblation_BudgetCharge(b *testing.B) {
 	bud := budget.New(budget.Limits{MaxCost: 1e12})

@@ -33,6 +33,21 @@
 // counters ("hits", "misses", "hit_rate"). The relational benchmarks
 // (`make bench`, BenchmarkPointQueryUncached/Cached/Prepared) measure the
 // same amortization per query.
+//
+// # Step-result memoization
+//
+// Above the data layer, the coordinator memoizes whole plan steps
+// (internal/memo): results of agents declared Cacheable in the registry
+// are cached by a content hash of (agent, version, inputs) and reused
+// across plans and sessions — a warm repeated ask executes nothing, is
+// charged nothing, and is admitted by the optimizer at its residual
+// projected cost, while single-flight deduplication collapses N concurrent
+// identical steps into one execution. Registry updates and data-asset
+// version bumps invalidate entries automatically (and poison in-flight
+// executions, so stale results are never cached or shared). Tune with
+// Config.MemoCapacity / Config.DisableMemo, observe through
+// System.MemoStats, blueprintd's GET /memo, `bpctl memo <utterance>`, and
+// `go run ./cmd/benchharness -fig A6`.
 package blueprint
 
 import (
@@ -68,6 +83,16 @@ type Config struct {
 	Budget budget.Limits
 	// Objectives weight the optimizer (default: balanced).
 	Objectives optimizer.Objectives
+	// MaxParallel bounds how many plan steps the coordinator executes
+	// concurrently (default coordinator.DefaultMaxParallel; 1 = sequential).
+	// blueprintd exposes it as the -parallel flag.
+	MaxParallel int
+	// MemoCapacity bounds the coordinator's cross-session step-result
+	// memoization cache (entries; default memo.DefaultCapacity).
+	MemoCapacity int
+	// DisableMemo turns step-result memoization off: every plan step
+	// executes fresh even for Cacheable agents.
+	DisableMemo bool
 	// DisableStandardAgents skips spawning the case-study agents in new
 	// sessions (for applications registering only their own agents).
 	DisableStandardAgents bool

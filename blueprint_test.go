@@ -242,3 +242,70 @@ func TestConfigDefaults(t *testing.T) {
 		t.Fatalf("accuracy override = %v", mc.Accuracy)
 	}
 }
+
+// TestDataWriteInvalidatesMemo proves the production invalidation seam end
+// to end: a warm coordinator plan is served from memo, and a plain SQL
+// write through the enterprise engine (DB.OnWrite -> DataRegistry.Touch ->
+// hierarchy propagation -> memo.InvalidateSource) drops the stale entries
+// so the next execution recomputes against the new data.
+func TestDataWriteInvalidatesMemo(t *testing.T) {
+	sys := newSystem(t)
+	s, err := sys.StartSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Selecting a job routes through the coordinator (Fig. 9: AE emits a
+	// Summarizer plan); SUMMARIZER is Cacheable with Reads: ["hr"].
+	// A cold click yields two display messages (the agent's own rendering
+	// plus the coordinator service's Final publish); Click returns on the
+	// first. Settle the display stream after each click so a leftover
+	// message never satisfies the next click's wait.
+	settle := func() {
+		t.Helper()
+		prev := -1
+		for i := 0; i < 100; i++ {
+			if cur := len(s.Display()); cur == prev {
+				return
+			} else {
+				prev = cur
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	click := func() string {
+		t.Helper()
+		out, err := s.Click(map[string]any{"action": "select_job", "job_id": 3}, 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		settle()
+		return out
+	}
+	cold := click()
+	if warm := click(); warm != cold {
+		t.Fatalf("warm click diverged: %q vs %q", warm, cold)
+	}
+	if st := sys.MemoStats(); st.Hits == 0 {
+		t.Fatalf("repeated click not served from memo: %+v", st)
+	}
+
+	// The data changes through the ordinary SQL surface — no registry call:
+	// DB.OnWrite bumps hr.applications, the hierarchy propagates to "hr",
+	// and SUMMARIZER's memo entry drops.
+	if _, err := sys.Enterprise.DB.Exec(
+		`INSERT INTO applications VALUES (9001, 3, 'p9001', 'applied', 0.99, 4)`); err != nil {
+		t.Fatal(err)
+	}
+	if sys.MemoStats().Invalidations == 0 {
+		t.Fatal("write did not invalidate any memo entries")
+	}
+	after := click()
+	if after == cold {
+		t.Fatalf("post-write summary did not reflect the new application: %q", after)
+	}
+	if !strings.Contains(after, "applied") {
+		t.Fatalf("summary missing the new applied application: %q", after)
+	}
+}

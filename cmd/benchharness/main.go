@@ -3,9 +3,10 @@
 // Usage:
 //
 //	benchharness              # run all experiments
-//	benchharness -fig F7      # run one (F1..F10, A1..A5)
+//	benchharness -fig F7      # run one (F1..F10, A1..A6)
 //	benchharness -fig A4      # plan-cache ablation (statement-cache hit/miss counters)
 //	benchharness -fig A5      # concurrent DAG scheduler: fan-out speedup + multi-session throughput
+//	benchharness -fig A6      # step-result memoization: repeated-ask speedup + cross-session dedup
 //	benchharness -seed 7      # change the deterministic seed
 //	benchharness -short       # reduced iterations/latencies (smoke mode, used by make bench-smoke)
 package main
@@ -42,6 +43,7 @@ func main() {
 		"A3":  experiments.AblationStreams,
 		"A4":  experiments.AblationPlanCache,
 		"A5":  experiments.AblationScheduler,
+		"A6":  experiments.AblationMemo,
 	}
 
 	if strings.EqualFold(*fig, "all") {
@@ -56,7 +58,7 @@ func main() {
 	}
 	run, ok := runners[strings.ToUpper(*fig)]
 	if !ok {
-		log.Fatalf("unknown experiment %q (want F1..F10, A1..A5, all)", *fig)
+		log.Fatalf("unknown experiment %q (want F1..F10, A1..A6, all)", *fig)
 	}
 	t, err := run(*seed)
 	if err != nil {

@@ -11,6 +11,11 @@
 //	GET  /agents                           -> agent registry contents
 //	GET  /data                             -> data registry contents
 //	GET  /stats                            -> stream store counters
+//	GET  /memo                             -> step-result memoization stats
+//
+// Deploy-time tuning: -parallel bounds how many plan steps the coordinator
+// executes concurrently per plan, -memo bounds the step-result memoization
+// cache (entries; -memo 0 uses the default, -no-memo disables reuse).
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"blueprint"
@@ -29,8 +35,10 @@ type server struct {
 	mu  sessionMap
 }
 
-// sessionMap guards the live session handles.
+// sessionMap guards the live session handles against concurrent HTTP
+// clients (POST /sessions racing asks and /stats reads).
 type sessionMap struct {
+	sync.RWMutex
 	sessions map[string]*blueprint.Session
 }
 
@@ -38,9 +46,15 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	walPath := flag.String("wal", "", "optional stream WAL path for persistence")
+	parallel := flag.Int("parallel", 0, "max concurrently executing steps per plan (0 = default)")
+	memoCap := flag.Int("memo", 0, "step-result memoization cache capacity in entries (0 = default)")
+	noMemo := flag.Bool("no-memo", false, "disable step-result memoization")
 	flag.Parse()
 
-	sys, err := blueprint.New(blueprint.Config{Seed: *seed, ModelAccuracy: 1.0, WALPath: *walPath})
+	sys, err := blueprint.New(blueprint.Config{
+		Seed: *seed, ModelAccuracy: 1.0, WALPath: *walPath,
+		MaxParallel: *parallel, MemoCapacity: *memoCap, DisableMemo: *noMemo,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,6 +69,7 @@ func main() {
 	mux.HandleFunc("GET /agents", s.agents)
 	mux.HandleFunc("GET /data", s.data)
 	mux.HandleFunc("GET /stats", s.stats)
+	mux.HandleFunc("GET /memo", s.memo)
 
 	log.Printf("blueprintd %s listening on %s (agents=%d, data assets=%d)",
 		blueprint.Version, *addr, sys.AgentRegistry.Len(), sys.DataRegistry.Len())
@@ -73,7 +88,9 @@ func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 		return
 	}
+	s.mu.Lock()
 	s.mu.sessions[sess.ID] = sess
+	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, map[string]string{"id": sess.ID})
 }
 
@@ -82,7 +99,9 @@ func (s *server) session(w http.ResponseWriter, r *http.Request) *blueprint.Sess
 	if !strings.HasPrefix(id, "session:") {
 		id = "session:" + id
 	}
+	s.mu.RLock()
 	sess, ok := s.mu.sessions[id]
+	s.mu.RUnlock()
 	if !ok {
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown session " + id})
 		return nil
@@ -159,10 +178,31 @@ func (s *server) data(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	st := s.sys.Store.StatsSnapshot()
+	ms := s.sys.MemoStats()
+	s.mu.RLock()
+	sessions := len(s.mu.sessions)
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"streams": st.StreamsCreated, "messages": st.MessagesAppended,
 		"data": st.DataMessages, "control": st.ControlMessages, "events": st.EventMessages,
 		"subscriptions": st.Subscriptions, "deliveries": st.Deliveries,
-		"version": blueprint.Version, "sessions": len(s.mu.sessions),
+		"version": blueprint.Version, "sessions": sessions,
+		"memo_hits": ms.Hits, "memo_hit_rate": ms.HitRate(),
+	})
+}
+
+func (s *server) memo(w http.ResponseWriter, r *http.Request) {
+	ms := s.sys.MemoStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":       s.sys.Memo != nil,
+		"hits":          ms.Hits,
+		"misses":        ms.Misses,
+		"hit_rate":      ms.HitRate(),
+		"coalesced":     ms.Coalesced,
+		"evictions":     ms.Evictions,
+		"invalidations": ms.Invalidations,
+		"entries":       ms.Entries,
+		"saved_cost":    ms.SavedCost,
+		"saved_latency": ms.SavedLatency.String(),
 	})
 }

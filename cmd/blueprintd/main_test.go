@@ -26,6 +26,7 @@ func newTestServer(t *testing.T) (*server, *http.ServeMux) {
 	mux.HandleFunc("GET /agents", s.agents)
 	mux.HandleFunc("GET /data", s.data)
 	mux.HandleFunc("GET /stats", s.stats)
+	mux.HandleFunc("GET /memo", s.memo)
 	return s, mux
 }
 
@@ -99,9 +100,51 @@ func TestErrorsOverHTTP(t *testing.T) {
 	}
 }
 
+func TestMemoOverHTTP(t *testing.T) {
+	_, mux := newTestServer(t)
+	rec, out := do(t, mux, "GET", "/memo", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/memo = %d %s", rec.Code, rec.Body)
+	}
+	if out["enabled"] != true {
+		t.Fatalf("memo disabled by default: %v", out)
+	}
+	for _, field := range []string{"hits", "misses", "hit_rate", "coalesced", "evictions", "invalidations", "entries"} {
+		if _, ok := out[field]; !ok {
+			t.Fatalf("/memo missing %q: %v", field, out)
+		}
+	}
+	rec, out = do(t, mux, "GET", "/stats", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/stats = %d", rec.Code)
+	}
+	if _, ok := out["memo_hit_rate"]; !ok {
+		t.Fatalf("/stats missing memo_hit_rate: %v", out)
+	}
+}
+
+func TestDeployTimeTuningConfig(t *testing.T) {
+	// The -parallel / -memo / -no-memo flags plumb straight into these
+	// Config fields; a system built with them must come up (and with memo
+	// off, /memo reports disabled).
+	sys, err := blueprint.New(blueprint.Config{
+		ModelAccuracy: 1.0, MaxParallel: 2, MemoCapacity: 16, DisableMemo: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	if sys.Memo != nil {
+		t.Fatal("DisableMemo left a memo store")
+	}
+	if st := sys.MemoStats(); st.Hits != 0 || st.Entries != 0 {
+		t.Fatalf("disabled memo stats = %+v", st)
+	}
+}
+
 func TestIntrospectionOverHTTP(t *testing.T) {
 	_, mux := newTestServer(t)
-	for _, path := range []string{"/agents", "/data", "/stats"} {
+	for _, path := range []string{"/agents", "/data", "/stats", "/memo"} {
 		req := httptest.NewRequest("GET", path, nil)
 		rec := httptest.NewRecorder()
 		mux.ServeHTTP(rec, req)

@@ -12,6 +12,7 @@
 //	bpctl nl2q <question>             # compile NL -> SQL and run it
 //	bpctl plan <utterance>            # show the task plan DAG
 //	bpctl ask <utterance>             # full pipeline, print answer + flow
+//	bpctl memo <utterance>            # run the plan twice: cold vs memo-warm + stats
 //	bpctl sql <statement>             # raw SQL against the enterprise DB
 package main
 
@@ -107,6 +108,32 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("answer: %s\n\nflow:\n%s", answer, trace.Render(s.Flow()))
+	case "memo":
+		s, err := sys.StartSession("")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer s.Close()
+		run := func(label string) {
+			start := time.Now()
+			res, _, err := s.ExecuteUtterance(rest)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cached := 0
+			for _, sr := range res.Steps {
+				if sr.Cached {
+					cached++
+				}
+			}
+			fmt.Printf("%-5s wall=%-12s steps=%d cached=%d cost=$%.5f\n",
+				label, time.Since(start).Round(time.Microsecond), len(res.Steps), cached, res.Budget.CostSpent)
+		}
+		run("cold")
+		run("warm")
+		st := sys.MemoStats()
+		fmt.Printf("memo  hits=%d misses=%d hit_rate=%.0f%% coalesced=%d entries=%d saved=$%.5f/%s\n",
+			st.Hits, st.Misses, st.HitRate()*100, st.Coalesced, st.Entries, st.SavedCost, st.SavedLatency)
 	case "sql":
 		res, err := sys.Enterprise.DB.Query(rest)
 		if err != nil {

@@ -69,6 +69,7 @@ type Budget struct {
 	accSum          float64
 	accWeight       float64
 	charges         int
+	memoHits        int
 	violations      []Violation
 }
 
@@ -129,6 +130,20 @@ func (b *Budget) chargeLocked(step string, cost float64, latency time.Duration, 
 	}
 	b.violations = append(b.violations, out...)
 	return out
+}
+
+// ChargeMemoHit records a step satisfied from the memoization cache: zero
+// cost and zero marginal critical-path latency are charged — a hit consumes
+// no headroom, so admission (Reserve/WouldExceed) is bypassed entirely —
+// while the accuracy estimate still absorbs the executing agent's profile
+// and the charge is counted (Report.MemoHits). Violations can still result
+// when a low-accuracy cached result drags the running estimate under
+// MinAccuracy.
+func (b *Budget) ChargeMemoHit(step string, accuracy float64) []Violation {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.memoHits++
+	return b.chargeLocked(step, 0, 0, accuracy)
 }
 
 // Reservation holds pre-authorized cost/latency headroom for one in-flight
@@ -257,10 +272,12 @@ func (b *Budget) accuracyLocked() (float64, bool) {
 
 // Report is a budget snapshot.
 type Report struct {
-	CostSpent    float64
-	Latency      time.Duration
-	Accuracy     float64 // running estimate; 0 when unknown
-	Charges      int
+	CostSpent float64
+	Latency   time.Duration
+	Accuracy  float64 // running estimate; 0 when unknown
+	Charges   int
+	// MemoHits counts charges that were memoization hits (zero cost/latency).
+	MemoHits     int
 	Violations   []Violation
 	CostLimit    float64
 	LatencyLimit time.Duration
@@ -280,6 +297,7 @@ func (b *Budget) Snapshot() Report {
 		Latency:         b.latency,
 		Accuracy:        acc,
 		Charges:         b.charges,
+		MemoHits:        b.memoHits,
 		Violations:      append([]Violation(nil), b.violations...),
 		CostLimit:       b.limits.MaxCost,
 		LatencyLimit:    b.limits.MaxLatency,

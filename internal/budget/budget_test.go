@@ -261,3 +261,34 @@ func TestSnapshotViolationsCopied(t *testing.T) {
 		t.Fatal("snapshot leaked internal state")
 	}
 }
+
+func TestChargeMemoHitIsFree(t *testing.T) {
+	b := New(Limits{MaxCost: 0.01, MaxLatency: 10 * time.Millisecond})
+	if vs := b.Charge("s1:AGENT", 0.01, 10*time.Millisecond, 0.9); len(vs) != 0 {
+		t.Fatalf("violations = %v", vs)
+	}
+	// The budget is now exactly at both limits; a memo hit must still be
+	// admissible because it consumes nothing.
+	if vs := b.ChargeMemoHit("s2:AGENT:memo", 0.9); len(vs) != 0 {
+		t.Fatalf("memo hit tripped limits: %v", vs)
+	}
+	rep := b.Snapshot()
+	if rep.CostSpent != 0.01 || rep.Latency != 10*time.Millisecond {
+		t.Fatalf("hit charged actuals: %+v", rep)
+	}
+	if rep.Charges != 2 || rep.MemoHits != 1 {
+		t.Fatalf("charges=%d memoHits=%d", rep.Charges, rep.MemoHits)
+	}
+}
+
+func TestChargeMemoHitAccuracyStillCounts(t *testing.T) {
+	b := New(Limits{MinAccuracy: 0.8})
+	// Zero-cost charges weigh accuracy at the epsilon weight, so a cached
+	// low-accuracy result still drags the running estimate down.
+	if vs := b.ChargeMemoHit("s1:BAD:memo", 0.1); len(vs) == 0 {
+		t.Fatal("low-accuracy memo hit did not trip MinAccuracy")
+	}
+	if !b.Violated() {
+		t.Fatal("expected recorded violation")
+	}
+}

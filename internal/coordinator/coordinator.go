@@ -36,6 +36,23 @@
 // arriving on one session's streams — and plans across sessions — run
 // concurrently; completions are announced on the event-driven ResultC
 // channel.
+//
+// # Step-result memoization
+//
+// With Options.Memo set, the scheduler consults the memoization store
+// (internal/memo) before dispatching a ready step whose agent is declared
+// Cacheable in the registry: a hit satisfies the step immediately — zero
+// cost and zero marginal critical-path latency charged to the budget
+// (budget.ChargeMemoHit) — and unblocks its dependents; a miss executes
+// under single-flight deduplication, so N concurrent identical steps
+// (within a plan, across plans, and across sessions — Service instances
+// share one Coordinator and therefore one store) run exactly once while
+// the rest await the winner. The pre-execution projection prices plans
+// against the same store (optimizer.EstimatePlanWithMemo), so a warm
+// repeated ask is admitted at its true residual cost. Registry version
+// bumps and data-source updates invalidate entries (and poison in-flight
+// executions) through the store's epoch machinery, so no stale result is
+// ever cached or shared.
 package coordinator
 
 import (
@@ -49,6 +66,7 @@ import (
 	"blueprint/internal/budget"
 	"blueprint/internal/dataplan"
 	"blueprint/internal/llm"
+	"blueprint/internal/memo"
 	"blueprint/internal/optimizer"
 	"blueprint/internal/planner"
 	"blueprint/internal/registry"
@@ -91,6 +109,10 @@ type Options struct {
 	// MaxParallel bounds how many plan steps execute concurrently
 	// (default DefaultMaxParallel; 1 degenerates to sequential execution).
 	MaxParallel int
+	// Memo enables cross-session step-result memoization: results of
+	// Cacheable agents are reused (and concurrent identical executions
+	// deduplicated) through this store. nil disables memoization.
+	Memo *memo.Store
 }
 
 // Coordinator executes task plans over a stream store.
@@ -120,6 +142,10 @@ type StepResult struct {
 	Cost    float64
 	Latency time.Duration
 	Err     string
+	// Cached reports that the step was satisfied from the memoization
+	// store (a cache hit or a coalesced share of a concurrent identical
+	// execution) rather than executed; Cost and Latency are then zero.
+	Cached bool
 }
 
 // Result is the outcome of one plan execution.
@@ -156,8 +182,10 @@ func (c *Coordinator) ExecutePlan(session string, p *planner.Plan, b *budget.Bud
 	// Pre-execution projection (§V-H: plan arrives "along with an initial
 	// budget and projected costs (estimated by the optimizer)"). The
 	// latency projection is the critical path over the DAG, so fan-out
-	// plans are not falsely rejected for the sum of their parallel steps.
-	projCost, projLatency, _ := optimizer.EstimatePlan(p, c.reg)
+	// plans are not falsely rejected for the sum of their parallel steps;
+	// with memoization on, steps expected to hit the cache are priced at
+	// zero, so warm plans are admitted at their residual cost.
+	projCost, projLatency, _, _ := optimizer.EstimatePlanWithMemo(p, c.reg, c.opts.Memo)
 	if b.WouldExceed(projCost, projLatency) {
 		switch c.opts.OnViolation {
 		case Confirm:
@@ -169,7 +197,7 @@ func (c *Coordinator) ExecutePlan(session string, p *planner.Plan, b *budget.Bud
 			if c.tp != nil && c.reg != nil {
 				if n, _ := optimizer.AssignAgents(p, c.reg, optimizer.CheapestObjectives(), b.Limits()); n > 0 {
 					res.Replans++
-					projCost, projLatency, _ = optimizer.EstimatePlan(p, c.reg)
+					projCost, projLatency, _, _ = optimizer.EstimatePlanWithMemo(p, c.reg, c.opts.Memo)
 					if b.WouldExceed(projCost, projLatency) {
 						return c.abort(session, res, b, "still over budget after cost-optimized reassignment")
 					}

@@ -2,19 +2,27 @@ package coordinator
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"blueprint/internal/agent"
 	"blueprint/internal/budget"
+	"blueprint/internal/memo"
 	"blueprint/internal/planner"
+	"blueprint/internal/registry"
 	"blueprint/internal/streams"
 )
 
 // DefaultMaxParallel is the scheduler's worker-pool bound when Options does
 // not set one: up to this many plan steps execute concurrently.
 const DefaultMaxParallel = 8
+
+// errReplanned marks a memoized-step execution whose replan retry executed
+// a different agent than the one the memo key names; the result is returned
+// to the leader but never cached or shared.
+var errReplanned = errors.New("coordinator: step replanned to an alternative agent; result not memoizable under the original key")
 
 // scheduler executes one plan as a dependency-driven DAG: it derives the
 // step dependencies from the plan's bindings (planner.Plan.Deps), dispatches
@@ -148,10 +156,11 @@ func (s *scheduler) run() error {
 	return s.failErr
 }
 
-// runStep executes one plan step end to end: input resolution, budget
-// admission (Reserve), agent execution with one optional replan retry, and
-// the Commit of actuals. Policy decisions on violations happen inline; the
-// scheduling loop only learns success or failure.
+// runStep executes one plan step end to end: input resolution, then either
+// the memoized path (cacheable agent, memo store configured) or the fresh
+// path — budget admission (Reserve), agent execution with one optional
+// replan retry, and the Commit of actuals. Policy decisions on violations
+// happen inline; the scheduling loop only learns success or failure.
 func (s *scheduler) runStep(step planner.Step) stepOutcome {
 	if s.ctx.Err() != nil {
 		return stepOutcome{stepID: step.ID, ran: false}
@@ -162,7 +171,98 @@ func (s *scheduler) runStep(step planner.Step) stepOutcome {
 		s.fail(err)
 		return stepOutcome{stepID: step.ID, err: err}
 	}
+	if s.c.opts.Memo != nil {
+		if spec, err := s.c.reg.Get(step.Agent); err == nil && spec.Cacheable {
+			if key, kerr := memo.ComputeKey(spec.Name, spec.Version, inputs); kerr == nil {
+				return s.runMemoized(step, spec, key, inputs)
+			}
+		}
+	}
+	return s.runFresh(step, inputs)
+}
 
+// runMemoized satisfies the step from the memoization store when possible:
+// a resident entry is a hit (zero cost, zero marginal critical-path
+// latency); otherwise the step executes under single-flight deduplication,
+// so concurrent identical steps — including ones from other plans and
+// sessions sharing this Coordinator — run once and share the result. The
+// leader runs the full fresh path (admission, execution, commit) so its
+// plan is charged normally; only the winners' waiters ride free.
+func (s *scheduler) runMemoized(step planner.Step, spec registry.AgentSpec, key memo.Key, inputs map[string]any) stepOutcome {
+	var leaderOC stepOutcome
+	led := false
+	entry, _, err := s.c.opts.Memo.Do(s.ctx, key, spec.Name, spec.Reads, spec.QoS.Freshness, func() (memo.Entry, error) {
+		led = true
+		leaderOC = s.runFresh(step, inputs)
+		if leaderOC.err != nil || !leaderOC.ran {
+			e := leaderOC.err
+			if e == nil {
+				e = context.Canceled
+			}
+			return memo.Entry{}, e
+		}
+		s.mu.Lock()
+		sr := s.results[step.ID]
+		s.mu.Unlock()
+		if sr.Agent != spec.Name {
+			// A replan retry swapped in an alternative agent: its result
+			// must not be cached under the original agent's key (wrong
+			// invalidation attribution — Reads, version — and wrong QoS
+			// accuracy on later hits). The leader keeps its success;
+			// waiters re-execute.
+			return memo.Entry{}, errReplanned
+		}
+		return memo.Entry{Outputs: sr.Outputs, Cost: sr.Cost, Latency: sr.Latency}, nil
+	})
+	if led {
+		// This goroutine executed (and already recorded) the step itself.
+		return leaderOC
+	}
+	if err != nil {
+		// Cancelled while awaiting an identical in-flight execution
+		// (plan-level abort or failure elsewhere).
+		s.mu.Lock()
+		s.results[step.ID] = StepResult{StepID: step.ID, Agent: step.Agent, Err: "cancelled"}
+		s.mu.Unlock()
+		ferr := fmt.Errorf("%w: %s (%s): %v", ErrStepFailed, step.ID, step.Agent, err)
+		s.mu.Lock()
+		if s.failErr != nil {
+			ferr = s.failErr
+		}
+		s.mu.Unlock()
+		return stepOutcome{stepID: step.ID, ran: true, err: ferr}
+	}
+
+	// Hit or coalesced share (handled identically): the step is satisfied
+	// without executing. Charge zero cost and zero marginal critical-path
+	// latency (the hit finishes "instantly" after its dependencies),
+	// keeping the accuracy estimate honest with the executing agent's
+	// profile.
+	sr := StepResult{StepID: step.ID, Agent: step.Agent, Outputs: entry.Outputs, Cached: true}
+	vs := s.budget.ChargeMemoHit(step.ID+":"+step.Agent, spec.QoS.Accuracy)
+	s.mu.Lock()
+	startAt := time.Duration(0)
+	for _, d := range s.deps[step.ID] {
+		if s.simFinish[d] > startAt {
+			startAt = s.simFinish[d]
+		}
+	}
+	s.simFinish[step.ID] = startAt // a hit adds nothing to the critical path
+	s.results[step.ID] = sr
+	s.mu.Unlock()
+	if len(vs) > 0 && !s.confirmViolations(vs) {
+		err := s.abort(vs[0].String())
+		return stepOutcome{stepID: step.ID, ran: true, err: err}
+	}
+	s.mu.Lock()
+	s.outputs[step.ID] = sr.Outputs
+	s.mu.Unlock()
+	return stepOutcome{stepID: step.ID, ran: true}
+}
+
+// runFresh executes the step for real: budget admission, agent execution
+// with one optional replan retry, and the Commit of actuals.
+func (s *scheduler) runFresh(step planner.Step, inputs map[string]any) stepOutcome {
 	// Admission: reserve the registry's projected cost so parallel steps
 	// cannot jointly overshoot the cost limit. Latency is deliberately NOT
 	// reserved per step — concurrent steps overlap in time, so summing

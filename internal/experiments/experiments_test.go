@@ -18,8 +18,8 @@ func TestAllExperimentsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 15 {
-		t.Fatalf("tables = %d, want 15", len(tables))
+	if len(tables) != 16 {
+		t.Fatalf("tables = %d, want 16", len(tables))
 	}
 	byID := map[string]*Table{}
 	for _, tb := range tables {
@@ -137,6 +137,33 @@ func TestAllExperimentsRun(t *testing.T) {
 		t.Errorf("A5 speedup unparsable: %v (%v)", err, a5["parallel"])
 	} else if speedup < 1.5 {
 		t.Errorf("A5 fan-out speedup = %.2fx, want >= 1.5x (serialization regression)", speedup)
+	}
+
+	// A6: the memoization invariants (full warm hit, dedup to one
+	// execution per step, selective invalidation) are enforced inside the
+	// experiment itself — it errors out on hit-rate collapse or dedup
+	// loss, failing All above. Here, spot-check the reported counters.
+	a6 := map[string]map[string]string{}
+	for _, r := range byID["A6"].Rows {
+		a6[r.Series] = map[string]string{}
+		for _, m := range r.Metrics {
+			a6[r.Series][m.Name] = m.Value
+		}
+	}
+	var memoSpeedup float64
+	if _, err := fmt.Sscanf(a6["repeated-ask warm"]["speedup"], "%fx", &memoSpeedup); err != nil {
+		t.Errorf("A6 speedup unparsable: %v (%v)", err, a6["repeated-ask warm"])
+	} else if memoSpeedup < 5 {
+		t.Errorf("A6 warm repeated-ask speedup = %.1fx, want >= 5x", memoSpeedup)
+	}
+	if a6["concurrent identical sessions"]["executions"] != "3" {
+		t.Errorf("A6 dedup executions = %v", a6["concurrent identical sessions"])
+	}
+	if a6["concurrent identical sessions"]["dedup_coalesced"] == "0" {
+		t.Errorf("A6 no coalesced requests: %v", a6["concurrent identical sessions"])
+	}
+	if a6["after source invalidation"]["reexecuted"] != "1/3" {
+		t.Errorf("A6 invalidation row = %v", a6["after source invalidation"])
 	}
 }
 

@@ -189,6 +189,8 @@ func (s *Suite) nl2qSpec() registry.AgentSpec {
 		Outputs:     []registry.ParamSpec{{Name: "SQL", Type: "text"}},
 		Listen:      registry.ListenRule{IncludeTags: []string{TagNLQ}},
 		QoS:         registry.QoSProfile{CostPerCall: 0.002, Accuracy: 0.85},
+		Cacheable:   true,
+		Reads:       []string{"hr"},
 	}
 }
 
@@ -238,6 +240,8 @@ func (s *Suite) sqlExecutorSpec() registry.AgentSpec {
 		Outputs:     []registry.ParamSpec{{Name: "ROWS", Type: "rows"}},
 		Listen:      registry.ListenRule{IncludeTags: []string{TagSQL}},
 		QoS:         registry.QoSProfile{CostPerCall: 0.0001, Accuracy: 1.0},
+		Cacheable:   true,
+		Reads:       []string{"hr"},
 	}
 }
 
@@ -273,6 +277,8 @@ func (s *Suite) querySummarizerSpec() registry.AgentSpec {
 		Outputs:     []registry.ParamSpec{{Name: "SUMMARY", Type: "text"}},
 		Listen:      registry.ListenRule{IncludeTags: []string{TagRows}},
 		QoS:         registry.QoSProfile{CostPerCall: 0.005, Accuracy: 0.9},
+		Cacheable:   true,
+		Reads:       []string{"gpt-sim"},
 	}
 }
 
@@ -319,6 +325,8 @@ func (s *Suite) summarizerSpec() registry.AgentSpec {
 		Inputs:      []registry.ParamSpec{{Name: "JOB_ID", Type: "int"}},
 		Outputs:     []registry.ParamSpec{{Name: "SUMMARY", Type: "text"}},
 		QoS:         registry.QoSProfile{CostPerCall: 0.005, Accuracy: 0.9},
+		Cacheable:   true,
+		Reads:       []string{"hr"},
 	}
 }
 
@@ -360,6 +368,10 @@ func (s *Suite) profilerSpec() registry.AgentSpec {
 		Inputs:      []registry.ParamSpec{{Name: "CRITERIA", Type: "text"}},
 		Outputs:     []registry.ParamSpec{{Name: "JOBSEEKER_DATA", Type: "profile"}},
 		QoS:         registry.QoSProfile{CostPerCall: 0.001, Accuracy: 0.95},
+		// Deliberately NOT Cacheable: presenting the profile form
+		// (Outputs.Display) is a UI side effect the runtime publishes on
+		// every invocation; a memo hit would skip it and the form would
+		// never reach the user on warm asks.
 	}
 }
 
@@ -399,8 +411,12 @@ func (s *Suite) jobMatcherSpec() registry.AgentSpec {
 			{Name: "JOBSEEKER_DATA", Type: "profile"},
 			{Name: "LIMIT", Type: "int", Optional: true, Default: 10},
 		},
-		Outputs: []registry.ParamSpec{{Name: "MATCHES", Type: "rows"}},
-		QoS:     registry.QoSProfile{CostPerCall: 0.02, Accuracy: 0.9},
+		Outputs:   []registry.ParamSpec{{Name: "MATCHES", Type: "rows"}},
+		QoS:       registry.QoSProfile{CostPerCall: 0.02, Accuracy: 0.9},
+		Cacheable: true,
+		// The matcher plans over hr.jobs, expands titles through the
+		// taxonomy graph and scores with the LLM source (Fig. 7).
+		Reads: []string{"hr", "taxonomy", "gpt-sim"},
 	}
 }
 
@@ -481,6 +497,7 @@ func (s *Suite) presenterSpec() registry.AgentSpec {
 		Inputs:      []registry.ParamSpec{{Name: "MATCHES", Type: "rows"}},
 		Outputs:     []registry.ParamSpec{{Name: "RENDERED", Type: "text"}},
 		QoS:         registry.QoSProfile{CostPerCall: 0.0001, Accuracy: 1.0},
+		Cacheable:   true,
 	}
 }
 
@@ -526,6 +543,8 @@ func (s *Suite) rankerSpec() registry.AgentSpec {
 		Inputs:      []registry.ParamSpec{{Name: "JOB_ID", Type: "int"}},
 		Outputs:     []registry.ParamSpec{{Name: "RANKED", Type: "rows"}},
 		QoS:         registry.QoSProfile{CostPerCall: 0.003, Accuracy: 0.93},
+		Cacheable:   true,
+		Reads:       []string{"hr"},
 	}
 }
 
@@ -558,6 +577,8 @@ func (s *Suite) advisorSpec() registry.AgentSpec {
 		Inputs:      []registry.ParamSpec{{Name: "QUESTION", Type: "text"}},
 		Outputs:     []registry.ParamSpec{{Name: "ADVICE", Type: "text"}},
 		QoS:         registry.QoSProfile{CostPerCall: 0.008, Accuracy: 0.88},
+		Cacheable:   true,
+		Reads:       []string{"gpt-sim"},
 	}
 }
 
@@ -582,6 +603,7 @@ func (s *Suite) moderatorSpec() registry.AgentSpec {
 		Inputs:      []registry.ParamSpec{{Name: "TEXT", Type: "text"}},
 		Outputs:     []registry.ParamSpec{{Name: "VERDICT", Type: "json"}},
 		QoS:         registry.QoSProfile{CostPerCall: 0.0003, Accuracy: 0.97},
+		Cacheable:   true,
 	}
 }
 

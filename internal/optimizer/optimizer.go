@@ -7,6 +7,11 @@
 // so weights are scale-free. Hard limits (the budget) filter infeasible
 // candidates first; the weighted score ranks the rest. A Pareto helper
 // exposes the non-dominated frontier for ablation benchmarks.
+//
+// Plan projection is cache-aware: EstimatePlanWithMemo prices steps whose
+// results are resident in the coordinator's memoization store at zero
+// cost/latency, chaining expected hits through the DAG, so warm repeated
+// asks are admitted at their true residual cost.
 package optimizer
 
 import (
@@ -18,6 +23,7 @@ import (
 	"blueprint/internal/budget"
 	"blueprint/internal/dataplan"
 	"blueprint/internal/llm"
+	"blueprint/internal/memo"
 	"blueprint/internal/planner"
 	"blueprint/internal/registry"
 )
@@ -258,21 +264,100 @@ func AssignAgents(p *planner.Plan, reg *registry.AgentRegistry, obj Objectives, 
 // rejected as over a latency budget they comfortably meet. Malformed plans
 // (cycles) fall back to the conservative sequential sum.
 func EstimatePlan(p *planner.Plan, reg *registry.AgentRegistry) (cost float64, latency time.Duration, accuracy float64) {
+	cost, latency, accuracy, _ = EstimatePlanWithMemo(p, reg, nil)
+	return cost, latency, accuracy
+}
+
+// EstimatePlanWithMemo is EstimatePlan priced against a memoization
+// snapshot: steps whose results are already cached contribute zero cost and
+// zero critical-path latency, so a warm plan is projected at its true
+// residual cost instead of the cold sum — cache-aware planning. A nil store
+// degrades to the cold EstimatePlan projection.
+//
+// Hit projection chains through the DAG: a step's memo key needs its
+// concrete inputs, so a step is projectable when every binding is static
+// (literal values, the raw utterance) or fed by an upstream step that is
+// itself an expected hit — in which case the cached outputs supply the
+// downstream inputs. Model-dependent transforms and outputs of steps that
+// must execute stay unpredictable and are conservatively priced as misses.
+func EstimatePlanWithMemo(p *planner.Plan, reg *registry.AgentRegistry, m *memo.Store) (cost float64, latency time.Duration, accuracy float64, expectedHits int) {
 	accuracy = 1.0
 	stepLat := make(map[string]time.Duration, len(p.Steps))
-	for _, s := range p.Steps {
+	hitOutputs := make(map[string]map[string]any)
+
+	// Walk in wave order so upstream expected-hit outputs are available
+	// when downstream keys are computed (plan order for malformed DAGs,
+	// where chaining is off anyway).
+	order := make([]string, 0, len(p.Steps))
+	if waves, err := p.Waves(); err == nil {
+		for _, wave := range waves {
+			order = append(order, wave...)
+		}
+	} else {
+		for _, s := range p.Steps {
+			order = append(order, s.ID)
+		}
+	}
+
+	for _, id := range order {
+		s, ok := p.Step(id)
+		if !ok {
+			continue
+		}
 		spec, err := reg.Get(s.Agent)
 		if err != nil {
 			continue
 		}
-		cost += spec.QoS.CostPerCall
-		stepLat[s.ID] = spec.QoS.Latency
 		if spec.QoS.Accuracy > 0 {
 			accuracy *= spec.QoS.Accuracy
 		}
+		if m != nil && spec.Cacheable {
+			if inputs, ok := staticInputs(p, s, hitOutputs); ok {
+				if key, err := memo.ComputeKey(spec.Name, spec.Version, inputs); err == nil {
+					if e, ok := m.Peek(key); ok {
+						expectedHits++
+						stepLat[s.ID] = 0
+						hitOutputs[s.ID] = e.Outputs
+						continue
+					}
+				}
+			}
+		}
+		cost += spec.QoS.CostPerCall
+		stepLat[s.ID] = spec.QoS.Latency
 	}
 	latency = CriticalPath(p, stepLat)
-	return cost, latency, accuracy
+	return cost, latency, accuracy, expectedHits
+}
+
+// staticInputs resolves a step's bindings without executing anything:
+// literals, the untransformed utterance, and upstream outputs known from
+// expected memo hits. Reports false when any binding needs execution (a
+// model transform or an output of a step that will actually run).
+func staticInputs(p *planner.Plan, s planner.Step, hitOutputs map[string]map[string]any) (map[string]any, bool) {
+	inputs := make(map[string]any, len(s.Bindings))
+	for param, b := range s.Bindings {
+		switch {
+		case b.FromStep != "":
+			out, ok := hitOutputs[b.FromStep]
+			if !ok {
+				return nil, false
+			}
+			v, ok := out[b.FromParam]
+			if !ok {
+				return nil, false
+			}
+			inputs[param] = v
+		case b.FromUserText:
+			if b.Transform != "" {
+				return nil, false
+			}
+			inputs[param] = p.Utterance
+		case b.Value != nil:
+			inputs[param] = b.Value
+		}
+	}
+	return inputs, true
 }
 
 // CriticalPath computes the longest dependency chain through the plan,

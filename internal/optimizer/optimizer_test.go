@@ -9,6 +9,7 @@ import (
 	"blueprint/internal/budget"
 	"blueprint/internal/dataplan"
 	"blueprint/internal/llm"
+	"blueprint/internal/memo"
 	"blueprint/internal/planner"
 	"blueprint/internal/registry"
 )
@@ -282,5 +283,89 @@ func TestEstimatePlanCriticalPathOverDAG(t *testing.T) {
 	_, lat, _ = EstimatePlan(diamond, reg)
 	if want := (20 + 200 + 20) * time.Millisecond; lat != want {
 		t.Fatalf("diamond latency = %v, want %v", lat, want)
+	}
+}
+
+func TestEstimatePlanWithMemoPricesResidualCost(t *testing.T) {
+	reg := registry.NewAgentRegistry()
+	for _, spec := range []registry.AgentSpec{
+		{Name: "FETCH", Description: "fetch", Cacheable: true,
+			Outputs: []registry.ParamSpec{{Name: "OUT", Type: "text"}},
+			QoS:     registry.QoSProfile{CostPerCall: 0.01, Latency: 100 * time.Millisecond, Accuracy: 0.9}},
+		{Name: "DERIVE", Description: "derive", Cacheable: true,
+			Inputs:  []registry.ParamSpec{{Name: "IN", Type: "text"}},
+			Outputs: []registry.ParamSpec{{Name: "OUT", Type: "text"}},
+			QoS:     registry.QoSProfile{CostPerCall: 0.02, Latency: 50 * time.Millisecond, Accuracy: 0.9}},
+	} {
+		if err := reg.Register(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := &planner.Plan{
+		Utterance: "the ask",
+		Steps: []planner.Step{
+			{ID: "s1", Agent: "FETCH",
+				Bindings: map[string]planner.Binding{"Q": {FromUserText: true}}},
+			{ID: "s2", Agent: "DERIVE",
+				Bindings: map[string]planner.Binding{"IN": {FromStep: "s1", FromParam: "OUT"}}},
+		},
+	}
+
+	m := memo.New(16)
+	// Cold store: identical to EstimatePlan.
+	cost, lat, _, hits := EstimatePlanWithMemo(p, reg, m)
+	if hits != 0 || cost != 0.03 || lat != 150*time.Millisecond {
+		t.Fatalf("cold: cost=%v lat=%v hits=%d", cost, lat, hits)
+	}
+
+	// Warm s1: its projected contribution drops to zero, and its cached
+	// outputs make s2's key computable — the chain projects fully warm.
+	k1, err := memo.ComputeKey("FETCH", 1, map[string]any{"Q": "the ask"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Put(k1, "FETCH", nil, 0, memo.Entry{Outputs: map[string]any{"OUT": "fetched"}, Cost: 0.01})
+	cost, lat, _, hits = EstimatePlanWithMemo(p, reg, m)
+	if hits != 1 || cost != 0.02 || lat != 50*time.Millisecond {
+		t.Fatalf("s1 warm: cost=%v lat=%v hits=%d", cost, lat, hits)
+	}
+	k2, err := memo.ComputeKey("DERIVE", 1, map[string]any{"IN": "fetched"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Put(k2, "DERIVE", nil, 0, memo.Entry{Outputs: map[string]any{"OUT": "derived"}, Cost: 0.02})
+	cost, lat, _, hits = EstimatePlanWithMemo(p, reg, m)
+	if hits != 2 || cost != 0 || lat != 0 {
+		t.Fatalf("fully warm: cost=%v lat=%v hits=%d", cost, lat, hits)
+	}
+
+	// Nil store degrades to the cold projection.
+	cost, _, _, hits = EstimatePlanWithMemo(p, reg, nil)
+	if hits != 0 || cost != 0.03 {
+		t.Fatalf("nil store: cost=%v hits=%d", cost, hits)
+	}
+}
+
+func TestEstimatePlanWithMemoTransformsAreMisses(t *testing.T) {
+	reg := registry.NewAgentRegistry()
+	if err := reg.Register(registry.AgentSpec{
+		Name: "FETCH", Description: "fetch", Cacheable: true,
+		Outputs: []registry.ParamSpec{{Name: "OUT", Type: "text"}},
+		QoS:     registry.QoSProfile{CostPerCall: 0.01, Latency: 100 * time.Millisecond, Accuracy: 0.9},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := &planner.Plan{
+		Utterance: "the ask",
+		Steps: []planner.Step{{ID: "s1", Agent: "FETCH",
+			Bindings: map[string]planner.Binding{"Q": {FromUserText: true, Transform: "criteria"}}}},
+	}
+	m := memo.New(16)
+	// Even a warm entry for the raw utterance cannot be projected: the
+	// transform output is model-dependent, so the step prices as a miss.
+	k, _ := memo.ComputeKey("FETCH", 1, map[string]any{"Q": "the ask"})
+	m.Put(k, "FETCH", nil, 0, memo.Entry{})
+	if cost, _, _, hits := EstimatePlanWithMemo(p, reg, m); hits != 0 || cost != 0.01 {
+		t.Fatalf("transform step projected as hit: cost=%v hits=%d", cost, hits)
 	}
 }

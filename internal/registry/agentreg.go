@@ -13,6 +13,7 @@ package registry
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"sort"
 	"strings"
 	"sync"
@@ -73,6 +74,10 @@ type QoSProfile struct {
 	Latency time.Duration `json:"latency"`
 	// Accuracy in [0,1].
 	Accuracy float64 `json:"accuracy"`
+	// Freshness is the QoS hint bounding how long a memoized result of a
+	// Cacheable agent stays servable (0 = as long as the agent version and
+	// the sources it Reads are unchanged). It becomes the memo-entry TTL.
+	Freshness time.Duration `json:"freshness,omitempty"`
 }
 
 // AgentSpec is the registry record for one agent.
@@ -92,6 +97,16 @@ type AgentSpec struct {
 	Deployment Deployment `json:"deployment,omitempty"`
 	// QoS is the expected quality of service.
 	QoS QoSProfile `json:"qos,omitempty"`
+	// Cacheable declares that invocations are pure functions of their
+	// inputs plus the data sources named in Reads, so the coordinator may
+	// memoize step results keyed by (Name, Version, inputs) and reuse them
+	// across plans and sessions until the version moves, a source in Reads
+	// is invalidated, or the QoS Freshness hint expires.
+	Cacheable bool `json:"cacheable,omitempty"`
+	// Reads names the registered data assets the agent's results depend on;
+	// a version bump of any of them invalidates the agent's memoized
+	// results.
+	Reads []string `json:"reads,omitempty"`
 	// Properties holds free-form configuration (triggering policy etc.).
 	Properties map[string]any `json:"properties,omitempty"`
 }
@@ -126,6 +141,29 @@ type AgentRegistry struct {
 	usageCnt map[string]int
 	embedder *vectors.Embedder
 	index    *vectors.Index
+
+	hookMu      sync.RWMutex
+	changeHooks []func(agentName string)
+}
+
+// OnChange registers a hook invoked (outside the registry lock) whenever an
+// agent's identity moves: a version bump on Update, a Derive, or a
+// Deregister. The memoization layer subscribes here to drop cached results
+// of the changed agent.
+func (r *AgentRegistry) OnChange(fn func(agentName string)) {
+	r.hookMu.Lock()
+	defer r.hookMu.Unlock()
+	r.changeHooks = append(r.changeHooks, fn)
+}
+
+func (r *AgentRegistry) notifyChange(name string) {
+	r.hookMu.RLock()
+	hooks := make([]func(string), len(r.changeHooks))
+	copy(hooks, r.changeHooks)
+	r.hookMu.RUnlock()
+	for _, fn := range hooks {
+		fn(name)
+	}
 }
 
 // NewAgentRegistry creates an empty agent registry.
@@ -159,23 +197,46 @@ func (r *AgentRegistry) Register(spec AgentSpec) error {
 	return r.reindexLocked(key)
 }
 
-// Update replaces an existing agent's metadata, bumping its version.
+// Update replaces an existing agent's metadata, bumping its version. A
+// re-registration of a deep-equal spec is a no-op: the version stays put,
+// so memo keys and derived-agent chains are not invalidated spuriously
+// (idempotent deploys re-register everything on every rollout).
 func (r *AgentRegistry) Update(spec AgentSpec) error {
+	changed, err := r.update(spec)
+	if err == nil && changed {
+		r.notifyChange(spec.Name)
+	}
+	return err
+}
+
+func (r *AgentRegistry) update(spec AgentSpec) (changed bool, err error) {
 	key := strings.ToLower(spec.Name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	old, ok := r.specs[key]
 	if !ok {
-		return fmt.Errorf("%w: %s", ErrAgentNotFound, spec.Name)
+		return false, fmt.Errorf("%w: %s", ErrAgentNotFound, spec.Name)
+	}
+	spec.Version = old.Version
+	if reflect.DeepEqual(spec, old) {
+		return false, nil
 	}
 	spec.Version = old.Version + 1
 	r.specs[key] = spec
-	return r.reindexLocked(key)
+	return true, r.reindexLocked(key)
 }
 
 // Derive registers a new agent based on an existing one with a new name and
 // description override ("derive new agents from existing ones", §V-C).
 func (r *AgentRegistry) Derive(base, name, description string, mutate func(*AgentSpec)) (AgentSpec, error) {
+	spec, err := r.derive(base, name, description, mutate)
+	if err == nil {
+		r.notifyChange(name)
+	}
+	return spec, err
+}
+
+func (r *AgentRegistry) derive(base, name, description string, mutate func(*AgentSpec)) (AgentSpec, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	b, ok := r.specs[strings.ToLower(base)]
@@ -205,6 +266,14 @@ func (r *AgentRegistry) Derive(base, name, description string, mutate func(*Agen
 
 // Deregister removes an agent.
 func (r *AgentRegistry) Deregister(name string) error {
+	err := r.deregister(name)
+	if err == nil {
+		r.notifyChange(name)
+	}
+	return err
+}
+
+func (r *AgentRegistry) deregister(name string) error {
 	key := strings.ToLower(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()

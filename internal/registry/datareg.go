@@ -68,6 +68,10 @@ type DataAsset struct {
 	Indexes []string `json:"indexes,omitempty"`
 	// Rows is the row/document/node count, for planner cost estimation.
 	Rows int `json:"rows,omitempty"`
+	// Version counts content/metadata generations of the asset: Register
+	// starts it at 1 and every Update or Touch bumps it. Memoized results
+	// of agents reading the asset are invalidated on each bump.
+	Version int `json:"version,omitempty"`
 	// QoS is the expected per-query quality of service of the source.
 	QoS QoSProfile `json:"qos,omitempty"`
 	// Tags are free-form labels.
@@ -105,6 +109,28 @@ type DataRegistry struct {
 	grants   map[string]map[string]bool // asset -> allowed agents (nil = public)
 	embedder *vectors.Embedder
 	index    *vectors.Index
+
+	hookMu      sync.RWMutex
+	changeHooks []func(assetName string)
+}
+
+// OnChange registers a hook invoked (outside the registry lock) whenever an
+// asset's version bumps — Update or Touch. The memoization layer subscribes
+// here to drop cached results of agents that read the asset.
+func (r *DataRegistry) OnChange(fn func(assetName string)) {
+	r.hookMu.Lock()
+	defer r.hookMu.Unlock()
+	r.changeHooks = append(r.changeHooks, fn)
+}
+
+func (r *DataRegistry) notifyChange(name string) {
+	r.hookMu.RLock()
+	hooks := make([]func(string), len(r.changeHooks))
+	copy(hooks, r.changeHooks)
+	r.hookMu.RUnlock()
+	for _, fn := range hooks {
+		fn(name)
+	}
 }
 
 // NewDataRegistry creates an empty data registry.
@@ -128,21 +154,102 @@ func (r *DataRegistry) Register(a DataAsset) error {
 	if _, ok := r.assets[key]; ok {
 		return fmt.Errorf("%w: %s", ErrAssetExists, a.Name)
 	}
+	if a.Version == 0 {
+		a.Version = 1
+	}
 	r.assets[key] = a
 	r.order = append(r.order, key)
 	return r.index.Upsert(key, r.embedder.Embed(a.searchText()))
 }
 
-// Update replaces an asset's metadata (e.g. refreshed row counts).
+// Update replaces an asset's metadata (e.g. refreshed row counts), bumping
+// its version and notifying OnChange subscribers for the asset and its
+// whole hierarchy slice (see affectedLocked): agents typically declare
+// their Reads at database level, so a table-level change must reach them.
 func (r *DataRegistry) Update(a DataAsset) error {
+	affected, err := r.update(a)
+	for _, name := range affected {
+		r.notifyChange(name)
+	}
+	return err
+}
+
+func (r *DataRegistry) update(a DataAsset) ([]string, error) {
 	key := strings.ToLower(a.Name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, ok := r.assets[key]; !ok {
-		return fmt.Errorf("%w: %s", ErrAssetNotFound, a.Name)
+	old, ok := r.assets[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrAssetNotFound, a.Name)
 	}
+	a.Version = old.Version + 1
 	r.assets[key] = a
-	return r.index.Upsert(key, r.embedder.Embed(a.searchText()))
+	return r.affectedLocked(a.Name), r.index.Upsert(key, r.embedder.Embed(a.searchText()))
+}
+
+// Touch bumps an asset's version without changing its metadata — the
+// signal that the underlying data changed (rows inserted, documents
+// rewritten) and memoized results reading it are stale. Subscribers are
+// notified for the asset, its ancestors and its descendants.
+func (r *DataRegistry) Touch(name string) error {
+	key := strings.ToLower(name)
+	r.mu.Lock()
+	a, ok := r.assets[key]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrAssetNotFound, name)
+	}
+	a.Version++
+	r.assets[key] = a
+	affected := r.affectedLocked(a.Name)
+	r.mu.Unlock()
+	for _, n := range affected {
+		r.notifyChange(n)
+	}
+	return nil
+}
+
+// affectedLocked resolves a change of the named asset across the hierarchy
+// (§V-D: lakehouse > database > table): the asset itself, its ancestor
+// chain (a table change means the containing database changed too), and
+// every descendant (a database-level touch conservatively means any
+// contained table may have changed). Readers that declared any level are
+// therefore invalidated regardless of which level was bumped.
+func (r *DataRegistry) affectedLocked(name string) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(n string) bool {
+		k := strings.ToLower(n)
+		if n == "" || seen[k] {
+			return false
+		}
+		seen[k] = true
+		out = append(out, n)
+		return true
+	}
+	add(name)
+	// Ancestors (Parent chain; seen guards against malformed cycles).
+	cur := name
+	for {
+		a, ok := r.assets[strings.ToLower(cur)]
+		if !ok || a.Parent == "" || !add(a.Parent) {
+			break
+		}
+		cur = a.Parent
+	}
+	// Descendants, breadth-first over the Parent relation.
+	queue := []string{name}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, k := range r.order {
+			a := r.assets[k]
+			if strings.EqualFold(a.Parent, p) && add(a.Name) {
+				queue = append(queue, a.Name)
+			}
+		}
+	}
+	return out
 }
 
 // Get returns one asset.

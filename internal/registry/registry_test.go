@@ -373,3 +373,108 @@ func TestRegistryScales(t *testing.T) {
 		t.Fatalf("hits = %d", len(hits))
 	}
 }
+
+func TestAgentUpdateIdenticalSpecKeepsVersion(t *testing.T) {
+	r := newAgentReg(t)
+	s, _ := r.Get("PROFILER")
+	var notified []string
+	r.OnChange(func(name string) { notified = append(notified, name) })
+
+	// Re-registering a deep-equal spec must not bump the version (memo keys
+	// and derived-agent chains would be invalidated spuriously), even when
+	// the caller passes a zero Version.
+	same := s
+	same.Version = 0
+	if err := r.Update(same); err != nil {
+		t.Fatal(err)
+	}
+	if s2, _ := r.Get("PROFILER"); s2.Version != s.Version {
+		t.Fatalf("identical update bumped version %d -> %d", s.Version, s2.Version)
+	}
+	if len(notified) != 0 {
+		t.Fatalf("identical update fired change hooks: %v", notified)
+	}
+
+	// A real change bumps and notifies.
+	changed := s
+	changed.Description = "different"
+	if err := r.Update(changed); err != nil {
+		t.Fatal(err)
+	}
+	if s2, _ := r.Get("PROFILER"); s2.Version != s.Version+1 {
+		t.Fatalf("changed update version = %d", s2.Version)
+	}
+	if len(notified) != 1 || notified[0] != "PROFILER" {
+		t.Fatalf("notified = %v", notified)
+	}
+}
+
+func TestAgentChangeHooksOnDeriveAndDeregister(t *testing.T) {
+	r := newAgentReg(t)
+	var notified []string
+	r.OnChange(func(name string) { notified = append(notified, name) })
+	if _, err := r.Derive("PROFILER", "PROFILER_V2", "derived", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Deregister("PROFILER_V2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(notified) != 2 || notified[0] != "PROFILER_V2" || notified[1] != "PROFILER_V2" {
+		t.Fatalf("notified = %v", notified)
+	}
+}
+
+func TestDataAssetVersioningAndTouch(t *testing.T) {
+	r, _ := newDataReg(t)
+	a, _ := r.Get("hr.jobs")
+	if a.Version != 1 {
+		t.Fatalf("initial version = %d", a.Version)
+	}
+	var notified []string
+	r.OnChange(func(name string) { notified = append(notified, name) })
+
+	a.Rows = 9999
+	if err := r.Update(a); err != nil {
+		t.Fatal(err)
+	}
+	if a2, _ := r.Get("hr.jobs"); a2.Version != 2 {
+		t.Fatalf("post-update version = %d", a2.Version)
+	}
+	if err := r.Touch("hr.jobs"); err != nil {
+		t.Fatal(err)
+	}
+	if a3, _ := r.Get("hr.jobs"); a3.Version != 3 {
+		t.Fatalf("post-touch version = %d", a3.Version)
+	}
+	// Both the Update and the Touch propagate up the hierarchy: agents
+	// declare Reads at database level ("hr"), so a table-level change must
+	// notify the parent as well as the table.
+	counts := map[string]int{}
+	for _, n := range notified {
+		counts[n]++
+	}
+	if counts["hr.jobs"] != 2 || counts["hr"] != 2 {
+		t.Fatalf("notified = %v", notified)
+	}
+	if err := r.Touch("missing"); !errors.Is(err, ErrAssetNotFound) {
+		t.Fatalf("touch missing = %v", err)
+	}
+}
+
+func TestDataTouchPropagatesToDescendants(t *testing.T) {
+	r, _ := newDataReg(t)
+	var notified []string
+	r.OnChange(func(name string) { notified = append(notified, name) })
+	// A database-level touch conservatively means any contained table may
+	// have changed: every child is notified too.
+	if err := r.Touch("hr"); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, n := range notified {
+		seen[n] = true
+	}
+	if !seen["hr"] || !seen["hr.jobs"] {
+		t.Fatalf("notified = %v, want hr and its tables", notified)
+	}
+}

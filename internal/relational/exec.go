@@ -108,7 +108,8 @@ func affectedCount(res *Result) int {
 	return len(res.Rows)
 }
 
-// Run executes a parsed statement.
+// Run executes a parsed statement. Successful mutations (DML and DDL)
+// notify the OnWrite hooks with the affected table.
 func (db *DB) Run(st Statement, params ...any) (*Result, error) {
 	vals := make([]Value, len(params))
 	for i, p := range params {
@@ -118,11 +119,16 @@ func (db *DB) Run(st Statement, params ...any) (*Result, error) {
 	case *SelectStmt:
 		return db.execSelect(s, vals)
 	case *InsertStmt:
-		return db.execInsert(s, vals)
+		res, err := db.execInsert(s, vals)
+		if err == nil {
+			db.notifyWrite(s.Table)
+		}
+		return res, err
 	case *CreateTableStmt:
 		if err := db.CreateTable(s.Table, Schema{Columns: s.Columns}); err != nil {
 			return nil, err
 		}
+		db.notifyWrite(s.Table)
 		return affected(0), nil
 	case *CreateIndexStmt:
 		kind := HashIndex
@@ -132,16 +138,26 @@ func (db *DB) Run(st Statement, params ...any) (*Result, error) {
 		if err := db.CreateIndex(s.Name, s.Table, s.Column, kind); err != nil {
 			return nil, err
 		}
+		db.notifyWrite(s.Table)
 		return affected(0), nil
 	case *DropTableStmt:
 		if err := db.DropTable(s.Table); err != nil {
 			return nil, err
 		}
+		db.notifyWrite(s.Table)
 		return affected(0), nil
 	case *UpdateStmt:
-		return db.execUpdate(s, vals)
+		res, err := db.execUpdate(s, vals)
+		if err == nil {
+			db.notifyWrite(s.Table)
+		}
+		return res, err
 	case *DeleteStmt:
-		return db.execDelete(s, vals)
+		res, err := db.execDelete(s, vals)
+		if err == nil {
+			db.notifyWrite(s.Table)
+		}
+		return res, err
 	default:
 		return nil, errors.New("relational: unsupported statement")
 	}

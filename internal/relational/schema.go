@@ -120,6 +120,30 @@ type DB struct {
 	// stmts amortizes lexing/parsing across repeated Query/Exec/Prepare
 	// calls; DDL flushes the altered table's statements (see stmt.go).
 	stmts *stmtCache
+
+	writeMu sync.RWMutex
+	onWrite []func(table string)
+}
+
+// OnWrite registers fn, invoked after every successfully executed statement
+// that mutates the named table — DML (INSERT/UPDATE/DELETE) and DDL alike,
+// through Query/Exec, prepared statements and Run. The blueprint system
+// wires this to the data registry's Touch, so a data change bumps the
+// table's asset version and invalidates memoized step results that read it.
+func (db *DB) OnWrite(fn func(table string)) {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	db.onWrite = append(db.onWrite, fn)
+}
+
+func (db *DB) notifyWrite(table string) {
+	db.writeMu.RLock()
+	hooks := make([]func(string), len(db.onWrite))
+	copy(hooks, db.onWrite)
+	db.writeMu.RUnlock()
+	for _, fn := range hooks {
+		fn(table)
+	}
 }
 
 // NewDB creates an empty database.

@@ -335,3 +335,47 @@ func TestStmtCacheConcurrency(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestOnWriteHookFiresForMutations(t *testing.T) {
+	db := NewDB()
+	var writes []string
+	db.OnWrite(func(table string) { writes = append(writes, table) })
+
+	if _, err := db.Exec(`CREATE TABLE w (id INT, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO w VALUES (1, 'a')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`UPDATE w SET v = 'b' WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	// Reads never notify — including through a prepared statement.
+	stmt, err := db.Prepare(`SELECT * FROM w WHERE id = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.Query(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`DELETE FROM w WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"w", "w", "w", "w"} // create, insert, update, delete
+	if len(writes) != len(want) {
+		t.Fatalf("writes = %v", writes)
+	}
+	for i, w := range want {
+		if writes[i] != w {
+			t.Fatalf("writes = %v, want %v", writes, want)
+		}
+	}
+	// A failing statement must not notify.
+	before := len(writes)
+	if _, err := db.Exec(`INSERT INTO missing VALUES (1)`); err == nil {
+		t.Fatal("insert into missing table succeeded")
+	}
+	if len(writes) != before {
+		t.Fatalf("failed statement notified: %v", writes)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"blueprint/internal/dataplan"
 	"blueprint/internal/hragents"
 	"blueprint/internal/llm"
+	"blueprint/internal/memo"
 	"blueprint/internal/planner"
 	"blueprint/internal/registry"
 	"blueprint/internal/session"
@@ -45,6 +46,10 @@ type System struct {
 	DataPlanner *dataplan.Planner
 	// Coordinator executes plans under budgets (§V-H).
 	Coordinator *coordinator.Coordinator
+	// Memo is the coordinator's cross-session step-result memoization
+	// cache (nil when Config.DisableMemo is set). Registry changes and
+	// data-asset version bumps invalidate it automatically.
+	Memo *memo.Store
 	// Model is the simulated LLM shared by LLM-backed agents.
 	Model *llm.Model
 	// Enterprise is the generated YourJourney substrate (§II).
@@ -89,12 +94,37 @@ func New(cfg Config) (*System, error) {
 		return planner.AsAgent(tp).Process
 	})
 
-	coord := coordinator.New(store, agentReg, tp, model, coordinator.Options{RetryOnError: true})
+	// Cross-session step-result memoization (§IV QoS / optimizer): results
+	// of Cacheable agents are reused across plans and sessions, and the
+	// registries invalidate them — agent version bumps by name, data-asset
+	// version bumps by the sources agents declare in Reads.
+	var memoStore *memo.Store
+	if !cfg.DisableMemo {
+		memoStore = memo.New(cfg.MemoCapacity)
+		agentReg.OnChange(func(name string) { memoStore.InvalidateAgent(name) })
+		dataReg.OnChange(func(name string) { memoStore.InvalidateSource(name) })
+		// Data-change seam: every write through the relational engine (DML
+		// or DDL, including prepared statements) bumps the table's asset —
+		// and, via the registry's hierarchy propagation, the "hr" database
+		// asset — so memoized results of agents reading them are dropped
+		// the moment the data changes. Writes to tables not in the
+		// registry (scratch tables) are no-ops.
+		ent.DB.OnWrite(func(table string) {
+			_ = dataReg.Touch("hr." + table)
+		})
+	}
+
+	coord := coordinator.New(store, agentReg, tp, model, coordinator.Options{
+		RetryOnError: true,
+		MaxParallel:  cfg.MaxParallel,
+		Memo:         memoStore,
+	})
 	sys := &System{
 		cfg:           cfg,
 		Store:         store,
 		AgentRegistry: agentReg,
 		DataRegistry:  dataReg,
+		Memo:          memoStore,
 		Factory:       factory,
 		Sessions:      session.NewManager(store, factory),
 		TaskPlanner:   tp,
@@ -105,6 +135,14 @@ func New(cfg Config) (*System, error) {
 		Suite:         suite,
 	}
 	return sys, nil
+}
+
+// MemoStats reports the step-result memoization counters: hits, misses,
+// evictions, invalidations, dedup-coalesced requests, resident entries and
+// the saved cost/latency. Zero when memoization is disabled. blueprintd
+// serves it at GET /memo and folds the hit rate into /stats.
+func (s *System) MemoStats() memo.Stats {
+	return s.Memo.Stats()
 }
 
 // Close shuts the system down: all sessions, then the stream store.
