@@ -32,15 +32,18 @@ bench:
 	$(GO) test ./internal/relational/ -run XXX -bench . -benchmem
 
 # Smoke run for the concurrency/reuse layers: regenerates the A5 table
-# (concurrent DAG scheduler fan-out speedup + multi-session throughput) and
-# the A6 table (step-result memoization: repeated-ask speedup, cross-session
-# single-flight dedup, invalidation) in short mode. A6 enforces its own
-# invariants — a warm run that re-executes (hit-rate collapse) or a
-# concurrent identical workload that does not coalesce (dedup loss) makes
-# the run fail. CI runs this on every push so regressions surface
-# immediately.
+# (concurrent DAG scheduler fan-out speedup + multi-session throughput), the
+# A6 table (step-result memoization: repeated-ask speedup, cross-session
+# single-flight dedup, invalidation) and the A7 table (relational plan
+# compiler: compiled-vs-interpreted scan/join/group-by) in short mode. A6
+# enforces its own invariants — a warm run that re-executes (hit-rate
+# collapse) or a concurrent identical workload that does not coalesce
+# (dedup loss) makes the run fail; A7's >= 2x speedup and allocs floors are
+# enforced in full mode and reported here. CI runs this on every push so
+# regressions surface immediately.
 bench-smoke:
 	$(GO) run ./cmd/benchharness -fig A5 -short
 	$(GO) run ./cmd/benchharness -fig A6 -short
+	$(GO) run ./cmd/benchharness -fig A7 -short
 
 ci: fmt-check vet build race bench-smoke

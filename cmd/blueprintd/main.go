@@ -179,6 +179,7 @@ func (s *server) data(w http.ResponseWriter, r *http.Request) {
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	st := s.sys.Store.StatsSnapshot()
 	ms := s.sys.MemoStats()
+	cs := s.sys.Enterprise.DB.CacheStats()
 	s.mu.RLock()
 	sessions := len(s.mu.sessions)
 	s.mu.RUnlock()
@@ -188,6 +189,8 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		"subscriptions": st.Subscriptions, "deliveries": st.Deliveries,
 		"version": blueprint.Version, "sessions": sessions,
 		"memo_hits": ms.Hits, "memo_hit_rate": ms.HitRate(),
+		"stmt_cache_hits": cs.Hits, "stmt_cache_hit_rate": cs.HitRate(),
+		"plan_compiles": cs.Compiles,
 	})
 }
 

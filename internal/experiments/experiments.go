@@ -31,7 +31,7 @@ type Row struct {
 
 // Table is one experiment's result.
 type Table struct {
-	ID    string // "F1".."F10", "A1".."A6"
+	ID    string // "F1".."F10", "A1".."A7"
 	Title string
 	Rows  []Row
 	Notes []string
@@ -84,6 +84,7 @@ func All(seed int64) ([]*Table, error) {
 		{"A4", AblationPlanCache},
 		{"A5", AblationScheduler},
 		{"A6", AblationMemo},
+		{"A7", AblationCompile},
 	}
 	out := make([]*Table, 0, len(exps))
 	for _, e := range exps {

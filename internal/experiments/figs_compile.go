@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"blueprint/internal/workload"
+)
+
+// AblationCompile (A7) measures the relational engine's prepare-time plan
+// compiler (internal/relational/compile.go) against the interpreted
+// evaluator on the three executor hot paths the blueprint's agents lean on:
+//
+//   - filtered scan: multi-predicate WHERE over a wide (16-column) fact
+//     table — the shape of enterprise telemetry/feature tables, where the
+//     interpreter's per-row per-reference column resolution is costliest.
+//   - 3-way join: applications ⋈ jobs ⋈ companies with a residual filter,
+//     exercising the binary hash-join keys and the join row arena.
+//   - GROUP BY: two grouping keys and four aggregates, exercising binary
+//     bucket keys and streaming aggregate accumulators.
+//
+// Both phases run the same SQL with a warm statement cache, so parse cost
+// is amortized identically and the delta isolates compiled execution. In
+// full mode the ≥2x wall-clock floor and the allocs/op reduction on the
+// filtered-scan and GROUP BY paths are enforced as errors (CI smoke runs
+// report only); the 3-way join is reported.
+func AblationCompile(seed int64) (*Table, error) {
+	scale := workload.MediumScale()
+	wideRows, scanIters, joinIters, groupIters := 6000, 120, 25, 100
+	if Short {
+		scale = workload.SmallScale()
+		wideRows, scanIters, joinIters, groupIters = 1200, 25, 6, 20
+	}
+	ent, err := workload.Build(seed, scale)
+	if err != nil {
+		return nil, err
+	}
+	db := ent.DB
+
+	// The wide fact table: 14 numeric feature columns plus city/remote.
+	cols := make([]string, 0, 16)
+	for i := 0; i < 14; i++ {
+		cols = append(cols, fmt.Sprintf("f%02d INT", i))
+	}
+	cols = append(cols, "city TEXT", "remote BOOL")
+	if _, err := db.Exec(`CREATE TABLE facts (` + strings.Join(cols, ", ") + `)`); err != nil {
+		return nil, err
+	}
+	cities := []string{"San Francisco", "Oakland", "Seattle", "New York", "Austin"}
+	ins := `INSERT INTO facts VALUES (` + strings.TrimSuffix(strings.Repeat("?,", 16), ",") + `)`
+	vals := make([]any, 16)
+	for i := 0; i < wideRows; i++ {
+		for j := 0; j < 14; j++ {
+			vals[j] = (i*31 + j*7 + int(seed)) % 1000
+		}
+		vals[14] = cities[i%len(cities)]
+		vals[15] = i%3 == 0
+		if _, err := db.Exec(ins, vals...); err != nil {
+			return nil, err
+		}
+	}
+
+	type wl struct {
+		name  string
+		sql   string
+		iters int
+		args  func(i int) []any
+	}
+	workloads := []wl{
+		{
+			name:  "filtered scan (wide)",
+			sql:   `SELECT f00, f07, f13, city FROM facts WHERE f13 >= ? AND f11 < ? AND remote = FALSE AND city != ?`,
+			iters: scanIters,
+			args:  func(i int) []any { return []any{100 + i%50, 900, "Austin"} },
+		},
+		{
+			name:  "3-way join",
+			sql:   `SELECT j.title, c.name, a.status FROM applications a JOIN jobs j ON a.job_id = j.id JOIN companies c ON j.company_id = c.id WHERE a.score >= ?`,
+			iters: joinIters,
+			args:  func(i int) []any { return []any{70.0 + float64(i%20)} },
+		},
+		{
+			name:  "group by (2 keys, 4 aggs)",
+			sql:   `SELECT city, remote, COUNT(*) AS n, AVG(f05) AS a, MIN(f09) AS lo, MAX(f13) AS hi FROM facts GROUP BY city, remote`,
+			iters: groupIters,
+			args:  func(int) []any { return nil },
+		},
+	}
+
+	// measure runs one workload and reports wall clock plus heap
+	// allocations per query (runtime.MemStats deltas).
+	measure := func(w wl) (time.Duration, uint64, error) {
+		if _, err := db.Query(w.sql, w.args(0)...); err != nil {
+			return 0, 0, err // warm parse/compile outside the window
+		}
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for i := 0; i < w.iters; i++ {
+			if _, err := db.Query(w.sql, w.args(i)...); err != nil {
+				return 0, 0, err
+			}
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		return wall, (m1.Mallocs - m0.Mallocs) / uint64(w.iters), nil
+	}
+
+	t := &Table{ID: "A7", Title: "Plan compiler: compiled vs interpreted execution on the data-engine hot paths"}
+	type outcome struct {
+		speedup    float64
+		allocDrop  bool
+		interpWall time.Duration
+	}
+	outcomes := map[string]outcome{}
+	for _, w := range workloads {
+		db.SetCompileEnabled(false)
+		interpWall, interpAllocs, err := measure(w)
+		if err != nil {
+			return nil, fmt.Errorf("A7 %s (interpreted): %w", w.name, err)
+		}
+		db.SetCompileEnabled(true)
+		compWall, compAllocs, err := measure(w)
+		if err != nil {
+			return nil, fmt.Errorf("A7 %s (compiled): %w", w.name, err)
+		}
+		speedup := interpWall.Seconds() / compWall.Seconds()
+		outcomes[w.name] = outcome{
+			speedup:    speedup,
+			allocDrop:  compAllocs < interpAllocs,
+			interpWall: interpWall,
+		}
+		t.Rows = append(t.Rows, Row{Series: w.name, Metrics: []Metric{
+			{Name: "interp", Value: us(interpWall / time.Duration(w.iters))},
+			{Name: "compiled", Value: us(compWall / time.Duration(w.iters))},
+			{Name: "speedup", Value: fmt.Sprintf("%.1fx", speedup)},
+			{Name: "interp_allocs", Value: fmt.Sprint(interpAllocs)},
+			{Name: "compiled_allocs", Value: fmt.Sprint(compAllocs)},
+		}})
+	}
+
+	if !Short {
+		for _, name := range []string{"filtered scan (wide)", "group by (2 keys, 4 aggs)"} {
+			o := outcomes[name]
+			if o.speedup < 2 {
+				return nil, fmt.Errorf("A7: %s compiled speedup %.2fx, want >= 2x", name, o.speedup)
+			}
+			if !o.allocDrop {
+				return nil, fmt.Errorf("A7: %s shows no allocs/op reduction", name)
+			}
+		}
+	}
+
+	stats := db.CacheStats()
+	t.Rows = append(t.Rows, Row{Series: "plan cache", Metrics: []Metric{
+		{Name: "compiles", Value: fmt.Sprint(stats.Compiles)},
+		{Name: "stmt_hit_rate", Value: pct(stats.HitRate())},
+	}})
+	t.Notes = append(t.Notes,
+		"same SQL, warm statement cache in both phases: the delta is per-row column resolution, AST dispatch and stringly hash keys removed by prepare-time compilation",
+		"compiled plans are cached on *Stmt and in the statement cache; CREATE/DROP TABLE bumps the table's schema version and forces recompilation (CREATE INDEX is picked up without one)",
+		"floors (full mode): >= 2x and fewer allocs/op on the filtered-scan and GROUP BY paths; the interpreted evaluator stays as the differential-test oracle")
+	return t, nil
+}

@@ -1,0 +1,1608 @@
+package relational
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"blueprint/internal/topk"
+)
+
+// This file implements the prepare-time compiler for SELECT/UPDATE/DELETE.
+//
+// The interpreted executor (select.go, dml.go) re-resolves every column
+// reference by a linear lowercase string scan per row per expression and
+// re-dispatches on the AST node type for every evaluation. The compiler does
+// that work exactly once per (statement, schema) pair: each ColumnRef is
+// resolved to a positional offset and the expression tree is lowered into a
+// closure of type compiledExpr, so per-row evaluation touches no strings and
+// no type switches. Compiled plans are cached on *Stmt handles and in the
+// statement cache (see planSlot in stmt.go) and invalidated per table by a
+// schema version counter bumped on CREATE/DROP TABLE.
+//
+// Statement shapes whose interpreted semantics depend on runtime row counts
+// (lazy resolution errors over empty inputs, the DISTINCT/ORDER BY row-count
+// quirk, SELECT * with aggregates) are not compiled: compileStmt marks them
+// fallback and execution uses the interpreted path, which stays the semantic
+// oracle — the differential tests in differential_test.go assert both paths
+// agree on the full property corpus.
+
+// compiledExpr evaluates one scalar expression against a row with all column
+// references pre-resolved to positional offsets.
+type compiledExpr func(row Row, params []Value) (Value, error)
+
+// compiledAggExpr evaluates an expression that may contain aggregates over
+// the rows of one group.
+type compiledAggExpr func(rows []Row, params []Value) (Value, error)
+
+// errStalePlan signals that a compiled plan no longer matches the live
+// schema (DDL raced the execution); the router recompiles and retries.
+var errStalePlan = errors.New("relational: stale compiled plan")
+
+// errUncompilable marks statement shapes the compiler deliberately refuses
+// (they fall back to the interpreted oracle).
+var errUncompilable = errors.New("relational: statement not compilable")
+
+// tableDep records the schema version of one referenced table at compile
+// time. Versions bump on CREATE/DROP TABLE, so a dependency mismatch means
+// the table was dropped or recreated and every resolved offset is suspect.
+type tableDep struct {
+	table string // lowercased storage key
+	ver   uint64
+}
+
+// compiledStmt is one compilation of a statement: either a runnable program
+// or a fallback marker, plus the schema versions it was compiled against.
+type compiledStmt struct {
+	deps     []tableDep
+	sel      *selectProgram
+	upd      *updateProgram
+	del      *deleteProgram
+	fallback bool
+}
+
+// planSlot holds the current compilation of one statement. A slot is shared
+// between a prepared *Stmt handle and the statement-cache entry for the same
+// SQL text, so Query/Exec traffic and prepared handles reuse one compiled
+// plan. Swaps are atomic: concurrent executors either see the old (still
+// version-checked) plan or the new one.
+type planSlot struct {
+	p atomic.Pointer[compiledStmt]
+}
+
+// SetCompileEnabled toggles the compiled execution path. Disabling it forces
+// every SELECT/UPDATE/DELETE through the interpreted evaluator — used by the
+// A7 ablation and the differential tests; production leaves it on.
+func (db *DB) SetCompileEnabled(enabled bool) { db.noCompile.Store(!enabled) }
+
+// depsValid reports whether every table version recorded at compile time is
+// still current.
+func (db *DB) depsValid(deps []tableDep) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, d := range deps {
+		if db.vers[d.table] != d.ver {
+			return false
+		}
+	}
+	return true
+}
+
+// captureDeps snapshots the schema versions of the given (lowercased) tables.
+func (db *DB) captureDeps(tables []string) []tableDep {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	deps := make([]tableDep, len(tables))
+	for i, t := range tables {
+		deps[i] = tableDep{table: t, ver: db.vers[t]}
+	}
+	return deps
+}
+
+// tableVer returns the live table and its current schema version.
+func (db *DB) tableVer(name string) (*table, uint64, error) {
+	key := strings.ToLower(name)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[key]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrTableNotFound, name)
+	}
+	return t, db.vers[key], nil
+}
+
+// planFor returns the slot's current compilation, recompiling if absent or
+// stale. Racing recompiles are harmless: both results are valid and the
+// last store wins.
+func (db *DB) planFor(st Statement, slot *planSlot) *compiledStmt {
+	cs := slot.p.Load()
+	if cs == nil || !db.depsValid(cs.deps) {
+		cs = db.compileStmt(st)
+		slot.p.Store(cs)
+	}
+	return cs
+}
+
+// compileStmt compiles st against the current schema. Any compile error
+// (unknown column, missing table, unsupported shape) produces a fallback
+// marker rather than a statement error: the interpreted path owns error
+// semantics, including the lazy cases where an unresolvable reference over
+// zero rows is not an error at all.
+func (db *DB) compileStmt(st Statement) *compiledStmt {
+	db.compiles.Add(1)
+	cs := &compiledStmt{deps: db.captureDeps(stmtTables(st))}
+	var err error
+	switch s := st.(type) {
+	case *SelectStmt:
+		cs.sel, err = db.buildSelectProgram(s)
+	case *UpdateStmt:
+		cs.upd, err = db.buildUpdateProgram(s)
+	case *DeleteStmt:
+		cs.del, err = db.buildDeleteProgram(s)
+	default:
+		err = errUncompilable
+	}
+	if err != nil {
+		cs.sel, cs.upd, cs.del, cs.fallback = nil, nil, nil, true
+	}
+	return cs
+}
+
+// ---- statement routers ----
+
+func (db *DB) execSelect(sel *SelectStmt, slot *planSlot, params []Value) (*Result, error) {
+	if slot == nil || db.noCompile.Load() {
+		return db.execSelectInterp(sel, params)
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		cs := db.planFor(sel, slot)
+		if cs.fallback || cs.sel == nil {
+			return db.execSelectInterp(sel, params)
+		}
+		res, err := db.runSelectProgram(cs.sel, params)
+		if err == errStalePlan {
+			slot.p.Store(nil)
+			continue
+		}
+		return res, err
+	}
+	// DDL churn kept invalidating the plan; the interpreted path always
+	// sees a coherent schema.
+	return db.execSelectInterp(sel, params)
+}
+
+func (db *DB) execUpdate(up *UpdateStmt, slot *planSlot, params []Value) (*Result, error) {
+	if slot == nil || db.noCompile.Load() {
+		return db.execUpdateInterp(up, params)
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		cs := db.planFor(up, slot)
+		if cs.fallback || cs.upd == nil {
+			return db.execUpdateInterp(up, params)
+		}
+		res, err := db.runUpdateProgram(cs.upd, params)
+		if err == errStalePlan {
+			slot.p.Store(nil)
+			continue
+		}
+		return res, err
+	}
+	return db.execUpdateInterp(up, params)
+}
+
+func (db *DB) execDelete(del *DeleteStmt, slot *planSlot, params []Value) (*Result, error) {
+	if slot == nil || db.noCompile.Load() {
+		return db.execDeleteInterp(del, params)
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		cs := db.planFor(del, slot)
+		if cs.fallback || cs.del == nil {
+			return db.execDeleteInterp(del, params)
+		}
+		res, err := db.runDeleteProgram(cs.del, params)
+		if err == errStalePlan {
+			slot.p.Store(nil)
+			continue
+		}
+		return res, err
+	}
+	return db.execDeleteInterp(del, params)
+}
+
+// ---- expression compilation ----
+
+// resolveCol resolves a column reference against an ordered column layout —
+// the single resolution routine shared by the interpreted evaluator (per
+// row) and the compiler (once per statement).
+func resolveCol(cols []envCol, c *ColumnRef) (int, error) {
+	tbl := strings.ToLower(c.Table)
+	col := strings.ToLower(c.Column)
+	found := -1
+	for i, ec := range cols {
+		if ec.name != col {
+			continue
+		}
+		if tbl != "" && ec.table != tbl {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("relational: ambiguous column %q", c.String())
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("%w: %s", ErrColumnUnknown, c.String())
+	}
+	return found, nil
+}
+
+// compileExpr lowers a scalar expression into a closure over the given
+// column layout. Resolution errors surface at compile time (the caller falls
+// back to the interpreted path to preserve lazy semantics); evaluation
+// errors that the interpreter raises per row (missing parameters, aggregate
+// misuse) are lowered into closures that raise them lazily, so a query over
+// zero rows still succeeds exactly like the interpreter.
+func compileExpr(cols []envCol, x Expr) (compiledExpr, error) {
+	switch v := x.(type) {
+	case *Literal:
+		val := v.Val
+		return func(Row, []Value) (Value, error) { return val, nil }, nil
+	case *Param:
+		ord := v.Ordinal
+		return func(_ Row, params []Value) (Value, error) {
+			if ord-1 >= len(params) {
+				return Null, fmt.Errorf("relational: missing parameter %d", ord)
+			}
+			return params[ord-1], nil
+		}, nil
+	case *ColumnRef:
+		i, err := resolveCol(cols, v)
+		if err != nil {
+			return nil, err
+		}
+		return func(row Row, _ []Value) (Value, error) { return row[i], nil }, nil
+	case *BinaryExpr:
+		return compileBinary(cols, v)
+	case *UnaryExpr:
+		inner, err := compileExpr(cols, v.E)
+		if err != nil {
+			return nil, err
+		}
+		return func(row Row, params []Value) (Value, error) {
+			val, err := inner(row, params)
+			if err != nil {
+				return Null, err
+			}
+			return NewBool(!truthy(val)), nil
+		}, nil
+	case *InExpr:
+		e, err := compileExpr(cols, v.E)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]compiledExpr, len(v.List))
+		for i, item := range v.List {
+			f, err := compileExpr(cols, item)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = f
+		}
+		not := v.Not
+		return func(row Row, params []Value) (Value, error) {
+			val, err := e(row, params)
+			if err != nil {
+				return Null, err
+			}
+			hit := false
+			for _, item := range items {
+				iv, err := item(row, params)
+				if err != nil {
+					return Null, err
+				}
+				if Equal(val, iv) {
+					hit = true
+					break
+				}
+			}
+			return NewBool(hit != not), nil
+		}, nil
+	case *BetweenExpr:
+		e, err := compileExpr(cols, v.E)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := compileExpr(cols, v.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compileExpr(cols, v.Hi)
+		if err != nil {
+			return nil, err
+		}
+		not := v.Not
+		return func(row Row, params []Value) (Value, error) {
+			val, err := e(row, params)
+			if err != nil {
+				return Null, err
+			}
+			loV, err := lo(row, params)
+			if err != nil {
+				return Null, err
+			}
+			hiV, err := hi(row, params)
+			if err != nil {
+				return Null, err
+			}
+			in := !val.IsNull() && !loV.IsNull() && !hiV.IsNull() &&
+				Compare(val, loV) >= 0 && Compare(val, hiV) <= 0
+			return NewBool(in != not), nil
+		}, nil
+	case *IsNullExpr:
+		e, err := compileExpr(cols, v.E)
+		if err != nil {
+			return nil, err
+		}
+		not := v.Not
+		return func(row Row, params []Value) (Value, error) {
+			val, err := e(row, params)
+			if err != nil {
+				return Null, err
+			}
+			return NewBool(val.IsNull() != not), nil
+		}, nil
+	case *AggExpr:
+		// Same lazy error as the interpreter: raised per evaluation, so it
+		// never fires over zero rows.
+		return func(Row, []Value) (Value, error) {
+			return Null, errors.New("relational: aggregate outside aggregation context")
+		}, nil
+	default:
+		return func(Row, []Value) (Value, error) {
+			return Null, errors.New("relational: unsupported expression")
+		}, nil
+	}
+}
+
+func compileBinary(cols []envCol, v *BinaryExpr) (compiledExpr, error) {
+	l, err := compileExpr(cols, v.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := compileExpr(cols, v.R)
+	if err != nil {
+		return nil, err
+	}
+	switch v.Op {
+	case "AND":
+		return func(row Row, params []Value) (Value, error) {
+			lv, err := l(row, params)
+			if err != nil {
+				return Null, err
+			}
+			if !truthy(lv) {
+				return NewBool(false), nil
+			}
+			rv, err := r(row, params)
+			if err != nil {
+				return Null, err
+			}
+			return NewBool(truthy(rv)), nil
+		}, nil
+	case "OR":
+		return func(row Row, params []Value) (Value, error) {
+			lv, err := l(row, params)
+			if err != nil {
+				return Null, err
+			}
+			if truthy(lv) {
+				return NewBool(true), nil
+			}
+			rv, err := r(row, params)
+			if err != nil {
+				return Null, err
+			}
+			return NewBool(truthy(rv)), nil
+		}, nil
+	}
+	op := v.Op
+	return func(row Row, params []Value) (Value, error) {
+		lv, err := l(row, params)
+		if err != nil {
+			return Null, err
+		}
+		rv, err := r(row, params)
+		if err != nil {
+			return Null, err
+		}
+		return compareValues(op, lv, rv)
+	}, nil
+}
+
+// compareValues applies a non-logical binary operator to two evaluated
+// values — the shared tail of the interpreted evalBinary and the compiled
+// closures.
+func compareValues(op string, l, r Value) (Value, error) {
+	switch op {
+	case "=":
+		return NewBool(Equal(l, r)), nil
+	case "!=":
+		if l.IsNull() || r.IsNull() {
+			return NewBool(false), nil
+		}
+		return NewBool(Compare(l, r) != 0), nil
+	case "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return NewBool(false), nil
+		}
+		c := Compare(l, r)
+		switch op {
+		case "<":
+			return NewBool(c < 0), nil
+		case "<=":
+			return NewBool(c <= 0), nil
+		case ">":
+			return NewBool(c > 0), nil
+		default:
+			return NewBool(c >= 0), nil
+		}
+	case "LIKE":
+		if l.IsNull() || r.IsNull() {
+			return NewBool(false), nil
+		}
+		return NewBool(likeMatch(l.String(), r.String())), nil
+	default:
+		return Null, fmt.Errorf("relational: unknown operator %q", op)
+	}
+}
+
+// applyBinaryValues applies any binary operator to two already-evaluated
+// values. Matches the interpreter's aggregate-context behaviour, where both
+// sides are computed before combining (no short-circuit).
+func applyBinaryValues(op string, l, r Value) (Value, error) {
+	switch op {
+	case "AND":
+		if !truthy(l) {
+			return NewBool(false), nil
+		}
+		return NewBool(truthy(r)), nil
+	case "OR":
+		if truthy(l) {
+			return NewBool(true), nil
+		}
+		return NewBool(truthy(r)), nil
+	}
+	return compareValues(op, l, r)
+}
+
+// compileOnFirst lowers a non-aggregate expression for use in aggregation
+// context: evaluated on the group's first row, Null over an empty group.
+func compileOnFirst(cols []envCol, x Expr) (compiledAggExpr, error) {
+	f, err := compileExpr(cols, x)
+	if err != nil {
+		return nil, err
+	}
+	return func(rows []Row, params []Value) (Value, error) {
+		if len(rows) == 0 {
+			return Null, nil
+		}
+		return f(rows[0], params)
+	}, nil
+}
+
+// compileAggExpr lowers an expression that may contain aggregates, mirroring
+// evalAgg: aggregate leaves stream over the group's rows, non-aggregate
+// subtrees evaluate on the first row.
+func compileAggExpr(cols []envCol, x Expr) (compiledAggExpr, error) {
+	switch v := x.(type) {
+	case *AggExpr:
+		return compileAgg(cols, v)
+	case *BinaryExpr:
+		if !hasAggregate(v) {
+			return compileOnFirst(cols, v)
+		}
+		l, err := compileAggExpr(cols, v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileAggExpr(cols, v.R)
+		if err != nil {
+			return nil, err
+		}
+		op := v.Op
+		return func(rows []Row, params []Value) (Value, error) {
+			lv, err := l(rows, params)
+			if err != nil {
+				return Null, err
+			}
+			rv, err := r(rows, params)
+			if err != nil {
+				return Null, err
+			}
+			return applyBinaryValues(op, lv, rv)
+		}, nil
+	case *UnaryExpr:
+		inner, err := compileAggExpr(cols, v.E)
+		if err != nil {
+			return nil, err
+		}
+		return func(rows []Row, params []Value) (Value, error) {
+			val, err := inner(rows, params)
+			if err != nil {
+				return Null, err
+			}
+			return NewBool(!truthy(val)), nil
+		}, nil
+	default:
+		return compileOnFirst(cols, x)
+	}
+}
+
+// compileAgg lowers one aggregate call into a streaming accumulator: no
+// per-group value slice is materialized, and DISTINCT deduplicates through
+// the binary key encoder over a reused scratch buffer.
+func compileAgg(cols []envCol, a *AggExpr) (compiledAggExpr, error) {
+	if a.Star {
+		return func(rows []Row, _ []Value) (Value, error) {
+			return NewInt(int64(len(rows))), nil
+		}, nil
+	}
+	arg, err := compileExpr(cols, a.Arg)
+	if err != nil {
+		return nil, err
+	}
+	distinct := a.Distinct
+	switch a.Fn {
+	case "COUNT":
+		return func(rows []Row, params []Value) (Value, error) {
+			var seen map[string]struct{}
+			var scratch []byte
+			if distinct {
+				seen = make(map[string]struct{})
+			}
+			n := 0
+			for _, r := range rows {
+				v, err := arg(r, params)
+				if err != nil {
+					return Null, err
+				}
+				if v.IsNull() {
+					continue
+				}
+				if distinct {
+					scratch = appendValueKey(scratch[:0], v)
+					if _, dup := seen[string(scratch)]; dup {
+						continue
+					}
+					seen[string(scratch)] = struct{}{}
+				}
+				n++
+			}
+			return NewInt(int64(n)), nil
+		}, nil
+	case "SUM", "AVG":
+		fn := a.Fn
+		return func(rows []Row, params []Value) (Value, error) {
+			var seen map[string]struct{}
+			var scratch []byte
+			if distinct {
+				seen = make(map[string]struct{})
+			}
+			var sum float64
+			allInt := true
+			n := 0
+			// The interpreter collects all values (surfacing evaluation
+			// errors) before type-checking them, so a deferred pendingErr
+			// keeps the error precedence identical while streaming.
+			var pendingErr error
+			for _, r := range rows {
+				v, err := arg(r, params)
+				if err != nil {
+					return Null, err
+				}
+				if v.IsNull() {
+					continue
+				}
+				if distinct {
+					scratch = appendValueKey(scratch[:0], v)
+					if _, dup := seen[string(scratch)]; dup {
+						continue
+					}
+					seen[string(scratch)] = struct{}{}
+				}
+				if pendingErr != nil {
+					continue
+				}
+				f, ok := v.numeric()
+				if !ok {
+					pendingErr = fmt.Errorf("relational: %s over non-numeric value", fn)
+					continue
+				}
+				if v.T != TInt {
+					allInt = false
+				}
+				sum += f
+				n++
+			}
+			if pendingErr != nil {
+				return Null, pendingErr
+			}
+			if n == 0 {
+				return Null, nil
+			}
+			if fn == "AVG" {
+				return NewFloat(sum / float64(n)), nil
+			}
+			if allInt {
+				return NewInt(int64(sum)), nil
+			}
+			return NewFloat(sum), nil
+		}, nil
+	case "MIN", "MAX":
+		min := a.Fn == "MIN"
+		// DISTINCT cannot change a min or max; skip the dedup work.
+		return func(rows []Row, params []Value) (Value, error) {
+			best := Null
+			have := false
+			for _, r := range rows {
+				v, err := arg(r, params)
+				if err != nil {
+					return Null, err
+				}
+				if v.IsNull() {
+					continue
+				}
+				if !have {
+					best, have = v, true
+					continue
+				}
+				c := Compare(v, best)
+				if (min && c < 0) || (!min && c > 0) {
+					best = v
+				}
+			}
+			if !have {
+				return Null, nil
+			}
+			return best, nil
+		}, nil
+	default:
+		fn := a.Fn
+		return func([]Row, []Value) (Value, error) {
+			return Null, fmt.Errorf("relational: unknown aggregate %q", fn)
+		}, nil
+	}
+}
+
+// ---- SELECT compilation ----
+
+type selectProgram struct {
+	sel       *SelectStmt
+	baseTable string // lowercased storage key
+	baseVer   uint64
+	baseWidth int // base table column count (row width before joins)
+	layout    []envCol
+	joins     []joinProgram
+	where     compiledExpr
+	whereDesc string
+
+	columns  []string
+	outWidth int
+
+	aggregated bool
+	items      []itemProgram // non-aggregated projection
+	aggItems   []compiledAggExpr
+	groupBy    []int
+	having     compiledAggExpr
+	aggDesc    string // "GroupBy(n keys)" or "Aggregate"
+
+	orderBy  []orderProgram
+	sortDesc string
+}
+
+type joinProgram struct {
+	table string // lowercased storage key
+	ver   uint64
+	lIdx  int // offset in the accumulated left layout
+	rIdx  int // offset within the joined table's rows
+	width int // joined table column count
+	left  bool
+	desc  string
+}
+
+type itemProgram struct {
+	star bool
+	f    compiledExpr
+}
+
+type orderProgram struct {
+	outIdx int          // >= 0: sort key is this output column
+	f      compiledExpr // else: evaluated against the input row
+	desc   bool
+}
+
+func outColumnIndex(columns []string, name string) int {
+	for i, c := range columns {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (db *DB) buildSelectProgram(sel *SelectStmt) (*selectProgram, error) {
+	base, baseVer, err := db.tableVer(sel.From.Table)
+	if err != nil {
+		return nil, err
+	}
+	p := &selectProgram{
+		sel:       sel,
+		baseTable: strings.ToLower(sel.From.Table),
+		baseVer:   baseVer,
+		baseWidth: len(base.schema.Columns),
+	}
+	baseName := strings.ToLower(sel.From.Name())
+	cols := make([]envCol, 0, len(base.schema.Columns))
+	for _, c := range base.schema.Columns {
+		cols = append(cols, envCol{table: baseName, name: strings.ToLower(c.Name)})
+	}
+	pretty := append([]string(nil), base.schema.Names()...)
+
+	for _, j := range sel.Joins {
+		jt, jVer, err := db.tableVer(j.Table.Table)
+		if err != nil {
+			return nil, err
+		}
+		jName := strings.ToLower(j.Table.Name())
+		jCols := make([]envCol, 0, len(jt.schema.Columns))
+		for _, c := range jt.schema.Columns {
+			jCols = append(jCols, envCol{table: jName, name: strings.ToLower(c.Name)})
+		}
+		// Determine which side of ON belongs to the joined table (same swap
+		// logic as the interpreter).
+		leftRef, rightRef := j.LCol, j.RCol
+		if _, err := resolveCol(jCols, &rightRef); err != nil {
+			leftRef, rightRef = rightRef, leftRef
+			if _, err2 := resolveCol(jCols, &rightRef); err2 != nil {
+				return nil, err2
+			}
+		}
+		rIdx, err := resolveCol(jCols, &rightRef)
+		if err != nil {
+			return nil, err
+		}
+		lIdx, err := resolveCol(cols, &leftRef)
+		if err != nil {
+			return nil, err
+		}
+		kind := "HashJoin"
+		if j.Left {
+			kind = "LeftHashJoin"
+		}
+		p.joins = append(p.joins, joinProgram{
+			table: strings.ToLower(j.Table.Table),
+			ver:   jVer,
+			lIdx:  lIdx,
+			rIdx:  rIdx,
+			width: len(jt.schema.Columns),
+			left:  j.Left,
+			desc:  fmt.Sprintf("%s(%s ON %s = %s)", kind, j.Table.Name(), j.LCol.String(), j.RCol.String()),
+		})
+		cols = append(cols, jCols...)
+		pretty = append(pretty, jt.schema.Names()...)
+	}
+	p.layout = cols
+
+	if sel.Where != nil {
+		f, err := compileExpr(cols, sel.Where)
+		if err != nil {
+			return nil, err
+		}
+		p.where = f
+		p.whereDesc = "Filter(" + exprString(sel.Where) + ")"
+	}
+
+	p.aggregated = len(sel.GroupBy) > 0
+	for _, it := range sel.Items {
+		if !it.Star && hasAggregate(it.Expr) {
+			p.aggregated = true
+		}
+	}
+
+	if p.aggregated {
+		for _, it := range sel.Items {
+			if it.Star {
+				// The interpreter rejects this at execution time; keep the
+				// error on the interpreted path.
+				return nil, errUncompilable
+			}
+			p.columns = append(p.columns, itemName(it))
+			f, err := compileAggExpr(cols, it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			p.aggItems = append(p.aggItems, f)
+		}
+		p.outWidth = len(p.aggItems)
+		for _, gc := range sel.GroupBy {
+			gcCopy := gc
+			i, err := resolveCol(cols, &gcCopy)
+			if err != nil {
+				return nil, err
+			}
+			p.groupBy = append(p.groupBy, i)
+		}
+		if sel.Having != nil {
+			f, err := compileAggExpr(cols, sel.Having)
+			if err != nil {
+				return nil, err
+			}
+			p.having = f
+		}
+		if len(sel.GroupBy) > 0 {
+			p.aggDesc = fmt.Sprintf("GroupBy(%d keys)", len(sel.GroupBy))
+		} else {
+			p.aggDesc = "Aggregate"
+		}
+	} else {
+		for _, it := range sel.Items {
+			if it.Star {
+				p.columns = append(p.columns, pretty...)
+				p.items = append(p.items, itemProgram{star: true})
+				p.outWidth += len(cols)
+				continue
+			}
+			p.columns = append(p.columns, itemName(it))
+			f, err := compileExpr(cols, it.Expr)
+			if err != nil {
+				return nil, err
+			}
+			p.items = append(p.items, itemProgram{f: f})
+			p.outWidth++
+		}
+	}
+
+	for _, ob := range sel.OrderBy {
+		op := orderProgram{outIdx: -1, desc: ob.Desc}
+		if cr, ok := ob.Expr.(*ColumnRef); ok && cr.Table == "" {
+			op.outIdx = outColumnIndex(p.columns, cr.Column)
+		}
+		if op.outIdx < 0 {
+			if p.aggregated {
+				// Interpreted path raises "must be an output column".
+				return nil, errUncompilable
+			}
+			if sel.Distinct {
+				// Whether the interpreter errors here depends on how many
+				// rows DISTINCT removes at runtime; leave the quirk to it.
+				return nil, errUncompilable
+			}
+			f, err := compileExpr(cols, ob.Expr)
+			if err != nil {
+				return nil, err
+			}
+			op.f = f
+		}
+		p.orderBy = append(p.orderBy, op)
+	}
+	if len(sel.OrderBy) > 0 {
+		p.sortDesc = fmt.Sprintf("Sort(%d keys)", len(sel.OrderBy))
+	}
+	return p, nil
+}
+
+// ---- SELECT execution ----
+
+// rowArena block-allocates fixed-width output rows: one []Value chunk
+// serves many rows, so the steady state of a projection or join loop does
+// one allocation per chunk instead of one per row. Rows handed out are
+// disjoint sub-slices capped at width, so appends never spill into a
+// neighbour. release returns the most recently handed-out row (used when
+// DISTINCT drops a duplicate).
+type rowArena struct {
+	buf   []Value
+	off   int
+	width int
+	chunk int // rows per chunk, doubling up to rowArenaMaxChunk
+}
+
+const (
+	rowArenaMinChunk = 16
+	rowArenaMaxChunk = 1024
+)
+
+func newRowArena(width int) *rowArena {
+	return &rowArena{width: width, chunk: rowArenaMinChunk}
+}
+
+func (a *rowArena) next() Row {
+	if a.width == 0 {
+		return Row{}
+	}
+	if a.off+a.width > len(a.buf) {
+		a.buf = make([]Value, a.chunk*a.width)
+		a.off = 0
+		if a.chunk < rowArenaMaxChunk {
+			a.chunk *= 2
+		}
+	}
+	r := a.buf[a.off : a.off : a.off+a.width]
+	a.off += a.width
+	return r
+}
+
+func (a *rowArena) release() {
+	if a.off >= a.width {
+		a.off -= a.width
+	}
+}
+
+// sortCand is one output row with its precomputed ORDER BY keys. seq
+// preserves the input sequence for stable ties.
+type sortCand struct {
+	out  Row
+	keys []Value
+	seq  int
+}
+
+func (p *selectProgram) candLess(a, b *sortCand) bool {
+	for ki := range p.orderBy {
+		c := Compare(a.keys[ki], b.keys[ki])
+		if c == 0 {
+			continue
+		}
+		if p.orderBy[ki].desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return a.seq < b.seq
+}
+
+// errStopScan is returned by pipeline visitors to terminate a scan early
+// (OFFSET+LIMIT satisfied); it never escapes to callers.
+var errStopScan = errors.New("relational: stop scan")
+
+// rowIter drives rows through a visitor. The no-join scan iterates the base
+// table under its read lock without materializing a snapshot slice — the
+// fused scan→filter→project pipeline; joins iterate the materialized join
+// output.
+type rowIter func(visit func(Row) error) error
+
+func (db *DB) runSelectProgram(p *selectProgram, params []Value) (*Result, error) {
+	sel := p.sel
+	base, ver, err := db.tableVer(sel.From.Table)
+	if err != nil || ver != p.baseVer {
+		return nil, errStalePlan
+	}
+
+	path := base.planAccess(sel.From.Name(), sel.Where, params)
+	planLines := append(make([]string, 0, 8), path.desc)
+
+	var iter rowIter
+	if len(p.joins) == 0 {
+		// Fused scan: rows stream straight from storage into the filter
+		// and projection closures, under the table read lock — no snapshot
+		// slice is materialized between scan and the rest of the pipeline.
+		iter = func(visit func(Row) error) error {
+			base.mu.RLock()
+			defer base.mu.RUnlock()
+			if path.all {
+				for id, r := range base.rows {
+					if !base.live[id] {
+						continue
+					}
+					if err := visit(r); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			for _, id := range path.ids {
+				if id >= 0 && id < len(base.rows) && base.live[id] {
+					if err := visit(base.rows[id]); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		return db.runSelectTail(p, iter, params, planLines)
+	}
+
+	var rows []Row
+	if path.all {
+		rows = base.snapshotRows()
+	} else {
+		base.mu.RLock()
+		rows = make([]Row, 0, len(path.ids))
+		for _, id := range path.ids {
+			if id >= 0 && id < len(base.rows) && base.live[id] {
+				rows = append(rows, base.rows[id])
+			}
+		}
+		base.mu.RUnlock()
+	}
+
+	// Hash joins with binary keys: probes allocate nothing, build keys are
+	// materialized once per distinct value, and joined rows come from a
+	// block arena instead of one allocation each.
+	var scratch []byte
+	curWidth := p.baseWidth
+	for _, jp := range p.joins {
+		jt, jVer, err := db.tableVer(jp.table)
+		if err != nil || jVer != jp.ver {
+			return nil, errStalePlan
+		}
+		build := buildJoinHash(jt.snapshotRows(), jp.rIdx)
+		joined := make([]Row, 0, len(rows))
+		arena := newRowArena(curWidth + jp.width)
+		var nullRight Row
+		if jp.left {
+			nullRight = make(Row, jp.width)
+			for i := range nullRight {
+				nullRight[i] = Null
+			}
+		}
+		for _, lr := range rows {
+			v := lr[jp.lIdx]
+			var matches []Row
+			if !v.IsNull() {
+				scratch = appendValueKey(scratch[:0], v)
+				if b := build[string(scratch)]; b != nil {
+					matches = b.rows
+				}
+			}
+			if len(matches) == 0 {
+				if jp.left {
+					nr := arena.next()
+					nr = append(nr, lr...)
+					nr = append(nr, nullRight...)
+					joined = append(joined, nr)
+				}
+				continue
+			}
+			for _, rr := range matches {
+				nr := arena.next()
+				nr = append(nr, lr...)
+				nr = append(nr, rr...)
+				joined = append(joined, nr)
+			}
+		}
+		rows = joined
+		curWidth += jp.width
+		planLines = append(planLines, jp.desc)
+	}
+
+	iter = func(visit func(Row) error) error {
+		for _, r := range rows {
+			if err := visit(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return db.runSelectTail(p, iter, params, planLines)
+}
+
+// runSelectTail runs the post-scan pipeline (filter, aggregation or
+// projection, DISTINCT, ordering, limits) and assembles the plan string.
+func (db *DB) runSelectTail(p *selectProgram, iter rowIter, params []Value, planLines []string) (*Result, error) {
+	var out *Result
+	var err error
+	if p.aggregated {
+		out, err = db.runAggregate(p, iter, params, &planLines)
+	} else {
+		out, err = db.runProject(p, iter, params, &planLines)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.Plan = strings.Join(planLines, " -> ")
+	if p.sel.Explain {
+		return &Result{Columns: []string{"plan"}, Rows: []Row{{NewString(out.Plan)}}, Plan: out.Plan}, nil
+	}
+	return out, nil
+}
+
+// runAggregate executes the grouped/aggregated tail of a compiled SELECT:
+// fused filter+group with binary bucket keys, streaming accumulators per
+// item, then HAVING, DISTINCT, ORDER BY (output columns only) and
+// OFFSET/LIMIT with the interpreter's plan-line behaviour.
+func (db *DB) runAggregate(p *selectProgram, iter rowIter, params []Value, planLines *[]string) (*Result, error) {
+	sel := p.sel
+	type aggGroup struct{ rows []Row }
+	var groups []*aggGroup
+	if len(p.groupBy) == 0 {
+		g := &aggGroup{}
+		err := iter(func(r Row) error {
+			if p.where != nil {
+				v, err := p.where(r, params)
+				if err != nil {
+					return err
+				}
+				if !truthy(v) {
+					return nil
+				}
+			}
+			g.rows = append(g.rows, r)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, g)
+	} else {
+		byKey := make(map[string]*aggGroup)
+		var scratch []byte
+		err := iter(func(r Row) error {
+			if p.where != nil {
+				v, err := p.where(r, params)
+				if err != nil {
+					return err
+				}
+				if !truthy(v) {
+					return nil
+				}
+			}
+			scratch = scratch[:0]
+			for _, gi := range p.groupBy {
+				scratch = appendValueKey(scratch, r[gi])
+			}
+			g := byKey[string(scratch)]
+			if g == nil {
+				g = &aggGroup{}
+				byKey[string(scratch)] = g
+				groups = append(groups, g)
+			}
+			g.rows = append(g.rows, r)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.where != nil {
+		*planLines = append(*planLines, p.whereDesc)
+	}
+
+	out := &Result{Columns: p.columns}
+	for _, g := range groups {
+		if len(p.groupBy) == 0 && len(g.rows) == 0 {
+			// Global aggregate over empty input yields one row; HAVING is
+			// not consulted (interpreter behaviour).
+			or := make(Row, 0, p.outWidth)
+			for _, f := range p.aggItems {
+				v, err := f(g.rows, params)
+				if err != nil {
+					return nil, err
+				}
+				or = append(or, v)
+			}
+			out.Rows = append(out.Rows, or)
+			continue
+		}
+		if p.having != nil {
+			hv, err := p.having(g.rows, params)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(hv) {
+				continue
+			}
+		}
+		or := make(Row, 0, p.outWidth)
+		for _, f := range p.aggItems {
+			v, err := f(g.rows, params)
+			if err != nil {
+				return nil, err
+			}
+			or = append(or, v)
+		}
+		out.Rows = append(out.Rows, or)
+	}
+	*planLines = append(*planLines, p.aggDesc)
+
+	if sel.Distinct {
+		out.Rows = distinctRows(out.Rows)
+		*planLines = append(*planLines, "Distinct")
+	}
+
+	if len(p.orderBy) > 0 {
+		// Aggregated ORDER BY keys are always output columns (anything else
+		// is a fallback shape).
+		idx := make([]int, len(out.Rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			for _, op := range p.orderBy {
+				c := Compare(out.Rows[idx[a]][op.outIdx], out.Rows[idx[b]][op.outIdx])
+				if c == 0 {
+					continue
+				}
+				if op.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		sorted := make([]Row, len(out.Rows))
+		for i, pos := range idx {
+			sorted[i] = out.Rows[pos]
+		}
+		out.Rows = sorted
+		*planLines = append(*planLines, p.sortDesc)
+	}
+
+	if sel.Offset > 0 {
+		if sel.Offset >= len(out.Rows) {
+			out.Rows = nil
+		} else {
+			out.Rows = out.Rows[sel.Offset:]
+		}
+	}
+	if sel.Limit >= 0 && sel.Limit < len(out.Rows) {
+		out.Rows = out.Rows[:sel.Limit]
+		*planLines = append(*planLines, fmt.Sprintf("Limit(%d)", sel.Limit))
+	}
+	return out, nil
+}
+
+// runProject executes the non-aggregated tail: a fused scan→filter→project
+// pipeline that streams rows straight into the result, deduplicates DISTINCT
+// through binary keys, stops early once OFFSET+LIMIT rows are produced, and
+// serves ORDER BY + LIMIT through a bounded top-k heap.
+func (db *DB) runProject(p *selectProgram, iter rowIter, params []Value, planLines *[]string) (*Result, error) {
+	sel := p.sel
+	out := &Result{Columns: p.columns}
+
+	arena := newRowArena(p.outWidth)
+	project := func(r Row) (Row, error) {
+		or := arena.next()
+		for _, it := range p.items {
+			if it.star {
+				or = append(or, r...)
+				continue
+			}
+			v, err := it.f(r, params)
+			if err != nil {
+				return nil, err
+			}
+			or = append(or, v)
+		}
+		return or, nil
+	}
+
+	var seen map[string]struct{}
+	var scratch []byte
+	if sel.Distinct {
+		seen = make(map[string]struct{})
+	}
+
+	if len(p.orderBy) == 0 {
+		need := -1
+		if sel.Limit >= 0 {
+			need = sel.Offset + sel.Limit
+		}
+		sawMore := false
+		err := iter(func(r Row) error {
+			if p.where != nil {
+				v, err := p.where(r, params)
+				if err != nil {
+					return err
+				}
+				if !truthy(v) {
+					return nil
+				}
+			}
+			if seen == nil {
+				if need >= 0 && len(out.Rows) == need {
+					sawMore = true
+					return errStopScan
+				}
+				or, err := project(r)
+				if err != nil {
+					return err
+				}
+				out.Rows = append(out.Rows, or)
+				return nil
+			}
+			or, err := project(r)
+			if err != nil {
+				return err
+			}
+			scratch = appendRowKey(scratch[:0], or)
+			if _, dup := seen[string(scratch)]; dup {
+				arena.release()
+				return nil
+			}
+			if need >= 0 && len(out.Rows) == need {
+				sawMore = true
+				return errStopScan
+			}
+			seen[string(scratch)] = struct{}{}
+			out.Rows = append(out.Rows, or)
+			return nil
+		})
+		if err != nil && err != errStopScan {
+			return nil, err
+		}
+		if p.where != nil {
+			*planLines = append(*planLines, p.whereDesc)
+		}
+		if sel.Distinct {
+			*planLines = append(*planLines, "Distinct")
+		}
+		if sel.Offset > 0 {
+			if sel.Offset >= len(out.Rows) {
+				out.Rows = nil
+			} else {
+				out.Rows = out.Rows[sel.Offset:]
+			}
+		}
+		if sel.Limit >= 0 {
+			trimmed := sel.Limit < len(out.Rows)
+			if trimmed {
+				out.Rows = out.Rows[:sel.Limit]
+			}
+			if sawMore || trimmed {
+				*planLines = append(*planLines, fmt.Sprintf("Limit(%d)", sel.Limit))
+			}
+		}
+		return out, nil
+	}
+
+	// ORDER BY: compute sort keys alongside projection in one pass. With a
+	// LIMIT, a bounded top-k heap keeps only the OFFSET+LIMIT first rows in
+	// sort order instead of materializing and sorting the full input.
+	k := -1
+	if sel.Limit >= 0 {
+		k = sel.Offset + sel.Limit
+	}
+	var heap *topk.Heap[*sortCand]
+	var cands []*sortCand
+	if k >= 0 {
+		heap = topk.New(k, p.candLess)
+	}
+	total := 0
+	err := iter(func(r Row) error {
+		if p.where != nil {
+			v, err := p.where(r, params)
+			if err != nil {
+				return err
+			}
+			if !truthy(v) {
+				return nil
+			}
+		}
+		or, err := project(r)
+		if err != nil {
+			return err
+		}
+		if seen != nil {
+			scratch = appendRowKey(scratch[:0], or)
+			if _, dup := seen[string(scratch)]; dup {
+				arena.release()
+				return nil
+			}
+			seen[string(scratch)] = struct{}{}
+		}
+		keys := make([]Value, len(p.orderBy))
+		for ki, op := range p.orderBy {
+			if op.outIdx >= 0 {
+				keys[ki] = or[op.outIdx]
+				continue
+			}
+			v, err := op.f(r, params)
+			if err != nil {
+				return err
+			}
+			keys[ki] = v
+		}
+		c := &sortCand{out: or, keys: keys, seq: total}
+		total++
+		if heap != nil {
+			heap.Offer(c)
+		} else {
+			cands = append(cands, c)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if heap != nil {
+		cands = heap.Items()
+	}
+	sort.Slice(cands, func(i, j int) bool { return p.candLess(cands[i], cands[j]) })
+
+	if p.where != nil {
+		*planLines = append(*planLines, p.whereDesc)
+	}
+	if sel.Distinct {
+		*planLines = append(*planLines, "Distinct")
+	}
+	*planLines = append(*planLines, p.sortDesc)
+
+	start := sel.Offset
+	if start > len(cands) {
+		start = len(cands)
+	}
+	for _, c := range cands[start:] {
+		out.Rows = append(out.Rows, c.out)
+	}
+	afterOffset := total - sel.Offset
+	if afterOffset < 0 {
+		afterOffset = 0
+	}
+	if sel.Limit >= 0 {
+		if sel.Limit < len(out.Rows) {
+			out.Rows = out.Rows[:sel.Limit]
+		}
+		if sel.Limit < afterOffset {
+			*planLines = append(*planLines, fmt.Sprintf("Limit(%d)", sel.Limit))
+		}
+	}
+	return out, nil
+}
+
+// ---- UPDATE / DELETE compilation ----
+
+type updateProgram struct {
+	table   string
+	ver     uint64
+	where   compiledExpr
+	targets []updateTarget
+}
+
+type updateTarget struct {
+	col  int
+	name string
+	typ  Type
+	f    compiledExpr
+}
+
+type deleteProgram struct {
+	table string
+	ver   uint64
+	where compiledExpr
+}
+
+func (db *DB) buildUpdateProgram(up *UpdateStmt) (*updateProgram, error) {
+	t, ver, err := db.tableVer(up.Table)
+	if err != nil {
+		return nil, err
+	}
+	p := &updateProgram{table: strings.ToLower(up.Table), ver: ver}
+	cols := tableLayout(t, up.Table)
+	for _, sc := range up.Set {
+		ci := t.schema.ColIndex(sc.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("%w: %s.%s", ErrColumnUnknown, up.Table, sc.Column)
+		}
+		f, err := compileExpr(cols, sc.Value)
+		if err != nil {
+			return nil, err
+		}
+		p.targets = append(p.targets, updateTarget{
+			col:  ci,
+			name: t.schema.Columns[ci].Name,
+			typ:  t.schema.Columns[ci].Type,
+			f:    f,
+		})
+	}
+	if up.Where != nil {
+		f, err := compileExpr(cols, up.Where)
+		if err != nil {
+			return nil, err
+		}
+		p.where = f
+	}
+	return p, nil
+}
+
+func (db *DB) buildDeleteProgram(del *DeleteStmt) (*deleteProgram, error) {
+	t, ver, err := db.tableVer(del.Table)
+	if err != nil {
+		return nil, err
+	}
+	p := &deleteProgram{table: strings.ToLower(del.Table), ver: ver}
+	if del.Where != nil {
+		f, err := compileExpr(tableLayout(t, del.Table), del.Where)
+		if err != nil {
+			return nil, err
+		}
+		p.where = f
+	}
+	return p, nil
+}
+
+// tableLayout builds the single-table column layout used by DML predicates.
+func tableLayout(t *table, name string) []envCol {
+	baseName := strings.ToLower(name)
+	cols := make([]envCol, len(t.schema.Columns))
+	for i, c := range t.schema.Columns {
+		cols[i] = envCol{table: baseName, name: strings.ToLower(c.Name)}
+	}
+	return cols
+}
+
+func (db *DB) runUpdateProgram(p *updateProgram, params []Value) (*Result, error) {
+	t, ver, err := db.tableVer(p.table)
+	if err != nil || ver != p.ver {
+		return nil, errStalePlan
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for id := range t.rows {
+		if !t.live[id] {
+			continue
+		}
+		row := t.rows[id]
+		if p.where != nil {
+			v, err := p.where(row, params)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		for _, tg := range p.targets {
+			nv, err := tg.f(row, params)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerce(nv, tg.typ)
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %w", tg.name, err)
+			}
+			old := row[tg.col]
+			for _, ix := range t.indexes {
+				if ix.col == tg.col {
+					ix.remove(id, old)
+					ix.add(id, cv)
+				}
+			}
+			row[tg.col] = cv
+		}
+		n++
+	}
+	return affected(n), nil
+}
+
+func (db *DB) runDeleteProgram(p *deleteProgram, params []Value) (*Result, error) {
+	t, ver, err := db.tableVer(p.table)
+	if err != nil || ver != p.ver {
+		return nil, errStalePlan
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for id := range t.rows {
+		if !t.live[id] {
+			continue
+		}
+		if p.where != nil {
+			v, err := p.where(t.rows[id], params)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		t.live[id] = false
+		t.liveCnt--
+		for _, ix := range t.indexes {
+			ix.remove(id, t.rows[id][ix.col])
+		}
+		n++
+	}
+	return affected(n), nil
+}

@@ -54,8 +54,11 @@ func (db *DB) execInsert(ins *InsertStmt, params []Value) (*Result, error) {
 	return affected(n), nil
 }
 
-// execUpdate rewrites matching rows in place, maintaining indexes.
-func (db *DB) execUpdate(up *UpdateStmt, params []Value) (*Result, error) {
+// execUpdateInterp rewrites matching rows in place, maintaining indexes,
+// evaluating the WHERE predicate and SET expressions through the interpreted
+// evaluator. The compiled path (compile.go) mirrors this loop with
+// offset-resolved closures; this version is its semantic oracle.
+func (db *DB) execUpdateInterp(up *UpdateStmt, params []Value) (*Result, error) {
 	t, err := db.table(up.Table)
 	if err != nil {
 		return nil, err
@@ -120,8 +123,9 @@ func (db *DB) execUpdate(up *UpdateStmt, params []Value) (*Result, error) {
 	return affected(n), nil
 }
 
-// execDelete tombstones matching rows and removes them from indexes.
-func (db *DB) execDelete(del *DeleteStmt, params []Value) (*Result, error) {
+// execDeleteInterp tombstones matching rows and removes them from indexes,
+// evaluating WHERE through the interpreted evaluator.
+func (db *DB) execDeleteInterp(del *DeleteStmt, params []Value) (*Result, error) {
 	t, err := db.table(del.Table)
 	if err != nil {
 		return nil, err

@@ -73,26 +73,27 @@ func (r *Result) Maps() []map[string]any {
 }
 
 // Query parses and executes sql with optional positional parameters bound to
-// '?' placeholders. Parsed statements are served from the DB's bounded LRU
-// statement cache, so repeated texts skip the lexer and parser entirely;
-// use Prepare for an explicit reusable handle.
+// '?' placeholders. Parsed statements (and their compiled plans) are served
+// from the DB's bounded LRU statement cache, so repeated texts skip the
+// lexer, the parser and the plan compiler entirely; use Prepare for an
+// explicit reusable handle.
 func (db *DB) Query(sql string, params ...any) (*Result, error) {
-	st, err := db.parseCached(sql)
+	st, slot, err := db.parseCached(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.Run(st, params...)
+	return db.run(st, slot, params...)
 }
 
 // Exec runs a statement that does not produce rows (INSERT, UPDATE, DELETE,
 // CREATE, DROP) and reports the number of affected rows. Like Query, it
 // consults the statement cache.
 func (db *DB) Exec(sql string, params ...any) (int, error) {
-	st, err := db.parseCached(sql)
+	st, slot, err := db.parseCached(sql)
 	if err != nil {
 		return 0, err
 	}
-	res, err := db.Run(st, params...)
+	res, err := db.run(st, slot, params...)
 	if err != nil {
 		return 0, err
 	}
@@ -109,15 +110,23 @@ func affectedCount(res *Result) int {
 }
 
 // Run executes a parsed statement. Successful mutations (DML and DDL)
-// notify the OnWrite hooks with the affected table.
+// notify the OnWrite hooks with the affected table. Statements executed
+// through Run directly (without a Query/Exec/Prepare plan slot) use the
+// interpreted evaluator; the cached entry points use compiled plans.
 func (db *DB) Run(st Statement, params ...any) (*Result, error) {
+	return db.run(st, nil, params...)
+}
+
+// run executes a parsed statement, using the slot's compiled plan when one
+// is provided.
+func (db *DB) run(st Statement, slot *planSlot, params ...any) (*Result, error) {
 	vals := make([]Value, len(params))
 	for i, p := range params {
 		vals[i] = FromGo(p)
 	}
 	switch s := st.(type) {
 	case *SelectStmt:
-		return db.execSelect(s, vals)
+		return db.execSelect(s, slot, vals)
 	case *InsertStmt:
 		res, err := db.execInsert(s, vals)
 		if err == nil {
@@ -147,13 +156,13 @@ func (db *DB) Run(st Statement, params ...any) (*Result, error) {
 		db.notifyWrite(s.Table)
 		return affected(0), nil
 	case *UpdateStmt:
-		res, err := db.execUpdate(s, vals)
+		res, err := db.execUpdate(s, slot, vals)
 		if err == nil {
 			db.notifyWrite(s.Table)
 		}
 		return res, err
 	case *DeleteStmt:
-		res, err := db.execDelete(s, vals)
+		res, err := db.execDelete(s, slot, vals)
 		if err == nil {
 			db.notifyWrite(s.Table)
 		}
@@ -179,25 +188,7 @@ type envCol struct {
 }
 
 func (e *env) resolve(c *ColumnRef) (int, error) {
-	tbl := strings.ToLower(c.Table)
-	col := strings.ToLower(c.Column)
-	found := -1
-	for i, ec := range e.cols {
-		if ec.name != col {
-			continue
-		}
-		if tbl != "" && ec.table != tbl {
-			continue
-		}
-		if found >= 0 {
-			return -1, fmt.Errorf("relational: ambiguous column %q", c.String())
-		}
-		found = i
-	}
-	if found < 0 {
-		return -1, fmt.Errorf("%w: %s", ErrColumnUnknown, c.String())
-	}
-	return found, nil
+	return resolveCol(e.cols, c)
 }
 
 // eval evaluates a scalar expression in the environment.
@@ -307,37 +298,7 @@ func evalBinary(e *env, v *BinaryExpr, params []Value) (Value, error) {
 	if err != nil {
 		return Null, err
 	}
-	switch v.Op {
-	case "=":
-		return NewBool(Equal(l, r)), nil
-	case "!=":
-		if l.IsNull() || r.IsNull() {
-			return NewBool(false), nil
-		}
-		return NewBool(Compare(l, r) != 0), nil
-	case "<", "<=", ">", ">=":
-		if l.IsNull() || r.IsNull() {
-			return NewBool(false), nil
-		}
-		c := Compare(l, r)
-		switch v.Op {
-		case "<":
-			return NewBool(c < 0), nil
-		case "<=":
-			return NewBool(c <= 0), nil
-		case ">":
-			return NewBool(c > 0), nil
-		default:
-			return NewBool(c >= 0), nil
-		}
-	case "LIKE":
-		if l.IsNull() || r.IsNull() {
-			return NewBool(false), nil
-		}
-		return NewBool(likeMatch(l.String(), r.String())), nil
-	default:
-		return Null, fmt.Errorf("relational: unknown operator %q", v.Op)
-	}
+	return compareValues(v.Op, l, r)
 }
 
 // truthy converts a value to a boolean condition result.
@@ -408,6 +369,20 @@ func (t *table) snapshot() ([]int, []Row) {
 		}
 	}
 	return ids, rows
+}
+
+// snapshotRows returns the live rows (in id order) without materializing the
+// id slice — the scan entry point of the compiled executor.
+func (t *table) snapshotRows() []Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rows := make([]Row, 0, t.liveCnt)
+	for id, r := range t.rows {
+		if t.live[id] {
+			rows = append(rows, r)
+		}
+	}
+	return rows
 }
 
 // accessPath is the planner's choice for reading the base table.

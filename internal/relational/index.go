@@ -47,20 +47,22 @@ func (ix *orderedIndex) remove(v Value, id int) {
 	}
 }
 
-// lookupEq returns rowids whose value equals v.
+// lookupEq returns rowids whose value equals v. Both ends of the run are
+// found by binary search and the ids are copied into one right-sized slice —
+// no per-entry Compare calls or append growth along the way.
 func (ix *orderedIndex) lookupEq(v Value) []int {
 	lo := sort.Search(len(ix.entries), func(i int) bool {
 		return Compare(ix.entries[i].v, v) >= 0
 	})
-	var out []int
-	for i := lo; i < len(ix.entries) && Compare(ix.entries[i].v, v) == 0; i++ {
-		out = append(out, ix.entries[i].id)
-	}
-	return out
+	hi := sort.Search(len(ix.entries), func(i int) bool {
+		return Compare(ix.entries[i].v, v) > 0
+	})
+	return ix.copyIDs(lo, hi)
 }
 
 // lookupRange returns rowids with lo <= value <= hi; either bound may be
-// Null meaning unbounded, and loOpen/hiOpen make the bound exclusive.
+// Null meaning unbounded, and loOpen/hiOpen make the bound exclusive. Both
+// bounds are binary-searched, then the id range is copied in one pass.
 func (ix *orderedIndex) lookupRange(lo, hi Value, loOpen, hiOpen bool) []int {
 	start := 0
 	if !lo.IsNull() {
@@ -72,15 +74,28 @@ func (ix *orderedIndex) lookupRange(lo, hi Value, loOpen, hiOpen bool) []int {
 			return c >= 0
 		})
 	}
-	var out []int
-	for i := start; i < len(ix.entries); i++ {
-		if !hi.IsNull() {
+	end := len(ix.entries)
+	if !hi.IsNull() {
+		end = sort.Search(len(ix.entries), func(i int) bool {
 			c := Compare(ix.entries[i].v, hi)
-			if c > 0 || (hiOpen && c == 0) {
-				break
+			if hiOpen {
+				return c >= 0
 			}
-		}
-		out = append(out, ix.entries[i].id)
+			return c > 0
+		})
+	}
+	return ix.copyIDs(start, end)
+}
+
+// copyIDs extracts the ids of entries[start:end) into a right-sized slice,
+// or nil for an empty range.
+func (ix *orderedIndex) copyIDs(start, end int) []int {
+	if start >= end {
+		return nil
+	}
+	out := make([]int, end-start)
+	for i := range out {
+		out[i] = ix.entries[start+i].id
 	}
 	return out
 }

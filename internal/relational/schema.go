@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Engine errors.
@@ -117,12 +118,31 @@ type DB struct {
 	mu     sync.RWMutex
 	tables map[string]*table
 	order  []string
+	// vers maps lowercased table names to their schema version, bumped on
+	// CREATE/DROP TABLE (column offsets change identity). Compiled plans
+	// (compile.go) record the versions they resolved against and recompile
+	// on mismatch; entries survive DROP so a recreated table never reuses a
+	// version. CREATE INDEX does not bump: offsets are unaffected and the
+	// access path is chosen at execution time.
+	vers      map[string]uint64
+	schemaSeq uint64
 	// stmts amortizes lexing/parsing across repeated Query/Exec/Prepare
 	// calls; DDL flushes the altered table's statements (see stmt.go).
 	stmts *stmtCache
+	// noCompile forces interpreted execution (see SetCompileEnabled);
+	// compiles counts plan compilations for CacheStats.
+	noCompile atomic.Bool
+	compiles  atomic.Uint64
 
 	writeMu sync.RWMutex
 	onWrite []func(table string)
+}
+
+// bumpVersionLocked advances the schema version of the (lowercased) table
+// key. Caller holds db.mu.
+func (db *DB) bumpVersionLocked(key string) {
+	db.schemaSeq++
+	db.vers[key] = db.schemaSeq
 }
 
 // OnWrite registers fn, invoked after every successfully executed statement
@@ -150,6 +170,7 @@ func (db *DB) notifyWrite(table string) {
 func NewDB() *DB {
 	return &DB{
 		tables: make(map[string]*table),
+		vers:   make(map[string]uint64),
 		stmts:  newStmtCache(DefaultStmtCacheCapacity),
 	}
 }
@@ -175,6 +196,7 @@ func (db *DB) CreateTable(name string, schema Schema) error {
 	}
 	db.tables[key] = &table{name: name, schema: schema, indexes: make(map[string]*indexDef)}
 	db.order = append(db.order, key)
+	db.bumpVersionLocked(key)
 	db.stmts.invalidateTable(name)
 	return nil
 }
@@ -194,6 +216,7 @@ func (db *DB) DropTable(name string) error {
 			break
 		}
 	}
+	db.bumpVersionLocked(key)
 	db.stmts.invalidateTable(name)
 	return nil
 }

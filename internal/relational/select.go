@@ -6,9 +6,13 @@ import (
 	"strings"
 )
 
-// execSelect runs a SELECT: access-path planning, joins, filtering,
-// aggregation, projection, DISTINCT, ordering and limiting.
-func (db *DB) execSelect(sel *SelectStmt, params []Value) (*Result, error) {
+// execSelectInterp runs a SELECT through the interpreted evaluator:
+// access-path planning, joins, filtering, aggregation, projection, DISTINCT,
+// ordering and limiting, resolving column references per row. It is the
+// semantic oracle for the compiled path (compile.go) — differential tests
+// assert both agree — and serves statements the compiler refuses as well as
+// direct Run calls.
+func (db *DB) execSelectInterp(sel *SelectStmt, params []Value) (*Result, error) {
 	base, err := db.table(sel.From.Table)
 	if err != nil {
 		return nil, err
@@ -73,15 +77,10 @@ func (db *DB) execSelect(sel *SelectStmt, params []Value) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Build hash on joined table.
-		build := make(map[string][]Row, len(jRows))
-		for _, r := range jRows {
-			v := r[rIdx]
-			if v.IsNull() {
-				continue
-			}
-			build[v.Key()] = append(build[v.Key()], r)
-		}
+		// Build hash on joined table (binary keys; see buildJoinHash in
+		// key.go, shared with the compiled executor).
+		var scratch []byte
+		build := buildJoinHash(jRows, rIdx)
 		joined := make([]Row, 0, len(rows))
 		nullRight := make(Row, len(jt.schema.Columns))
 		for i := range nullRight {
@@ -91,7 +90,10 @@ func (db *DB) execSelect(sel *SelectStmt, params []Value) (*Result, error) {
 			v := lr[lIdx]
 			var matches []Row
 			if !v.IsNull() {
-				matches = build[v.Key()]
+				scratch = appendValueKey(scratch[:0], v)
+				if bk := build[string(scratch)]; bk != nil {
+					matches = bk.rows
+				}
 			}
 			if len(matches) == 0 {
 				if j.Left {
@@ -245,33 +247,30 @@ func aggregate(sel *SelectStmt, rows []Row, cols []envCol, pretty []string, para
 	}
 	e := &env{cols: cols}
 	type group struct {
-		key  string
 		rows []Row
 	}
 	var groups []*group
 	byKey := map[string]*group{}
+	var scratch []byte
 	if len(sel.GroupBy) == 0 {
-		g := &group{key: ""}
-		g.rows = rows
+		g := &group{rows: rows}
 		groups = append(groups, g)
 	} else {
 		for _, r := range rows {
 			e.row = r
-			var kb strings.Builder
+			scratch = scratch[:0]
 			for _, gc := range sel.GroupBy {
 				gcCopy := gc
 				i, err := e.resolve(&gcCopy)
 				if err != nil {
 					return nil, err
 				}
-				kb.WriteString(r[i].Key())
-				kb.WriteByte('\x00')
+				scratch = appendValueKey(scratch, r[i])
 			}
-			k := kb.String()
-			g, ok := byKey[k]
+			g, ok := byKey[string(scratch)]
 			if !ok {
-				g = &group{key: k}
-				byKey[k] = g
+				g = &group{}
+				byKey[string(scratch)] = g
 				groups = append(groups, g)
 			}
 			g.rows = append(g.rows, r)
@@ -338,8 +337,7 @@ func evalAgg(e *env, x Expr, rows []Row, params []Value) (Value, error) {
 		if err != nil {
 			return Null, err
 		}
-		tmp := &env{cols: nil, row: nil}
-		return evalBinary(tmp, &BinaryExpr{Op: v.Op, L: &Literal{Val: l}, R: &Literal{Val: r}}, params)
+		return applyBinaryValues(v.Op, l, r)
 	case *UnaryExpr:
 		inner, err := evalAgg(e, v.E, rows, params)
 		if err != nil {
@@ -365,6 +363,7 @@ func computeAgg(e *env, a *AggExpr, rows []Row, params []Value) (Value, error) {
 	}
 	var vals []Value
 	seen := map[string]bool{}
+	var scratch []byte
 	for _, r := range rows {
 		e.row = r
 		v, err := eval(e, a.Arg, params)
@@ -375,11 +374,11 @@ func computeAgg(e *env, a *AggExpr, rows []Row, params []Value) (Value, error) {
 			continue
 		}
 		if a.Distinct {
-			k := v.Key()
-			if seen[k] {
+			scratch = appendValueKey(scratch[:0], v)
+			if seen[string(scratch)] {
 				continue
 			}
-			seen[k] = true
+			seen[string(scratch)] = true
 		}
 		vals = append(vals, v)
 	}
@@ -427,19 +426,16 @@ func computeAgg(e *env, a *AggExpr, rows []Row, params []Value) (Value, error) {
 }
 
 func distinctRows(rows []Row) []Row {
-	seen := map[string]bool{}
+	seen := make(map[string]struct{}, len(rows))
 	out := rows[:0:0]
+	var scratch []byte
 	for _, r := range rows {
-		var kb strings.Builder
-		for _, v := range r {
-			kb.WriteString(v.Key())
-			kb.WriteByte('\x00')
+		scratch = appendRowKey(scratch[:0], r)
+		if _, dup := seen[string(scratch)]; dup {
+			continue
 		}
-		k := kb.String()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, r)
-		}
+		seen[string(scratch)] = struct{}{}
+		out = append(out, r)
 	}
 	return out
 }
@@ -453,19 +449,10 @@ func orderResult(sel *SelectStmt, out *Result, cols []envCol, inputRows []Row, p
 	}
 	keys := make([]sortKey, len(out.Rows))
 
-	outIdx := func(name string) int {
-		for i, c := range out.Columns {
-			if strings.EqualFold(c, name) {
-				return i
-			}
-		}
-		return -1
-	}
-
 	for ki, ob := range sel.OrderBy {
-		// Try output column first.
+		// Try output column first (same resolution rule as the compiler).
 		if cr, ok := ob.Expr.(*ColumnRef); ok && cr.Table == "" {
-			if i := outIdx(cr.Column); i >= 0 {
+			if i := outColumnIndex(out.Columns, cr.Column); i >= 0 {
 				for ri := range out.Rows {
 					keys[ri].vals = append(keys[ri].vals, out.Rows[ri][i])
 				}

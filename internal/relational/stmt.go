@@ -12,27 +12,31 @@ import (
 // memory for adversarial workloads.
 const DefaultStmtCacheCapacity = 256
 
-// Stmt is a prepared statement: a parsed, reusable form of one SQL text.
-// Preparing once and executing many times amortizes lexing and parsing, the
-// dominant fixed cost of short queries. A Stmt is immutable after Prepare
-// and safe for concurrent use by multiple goroutines; schema resolution
-// happens at execution time, so a Stmt held across DDL keeps working (it
-// simply sees the new schema, or fails if its table is gone).
+// Stmt is a prepared statement: a parsed, reusable form of one SQL text
+// plus a slot holding its compiled plan. Preparing once and executing many
+// times amortizes lexing, parsing and plan compilation, the dominant fixed
+// costs of short queries. A Stmt is immutable after Prepare and safe for
+// concurrent use by multiple goroutines; the compiled plan is revalidated
+// against per-table schema versions at execution time, so a Stmt held
+// across DDL keeps working (it recompiles against the new schema, or fails
+// if its table is gone).
 type Stmt struct {
-	db  *DB
-	sql string
-	st  Statement
+	db   *DB
+	sql  string
+	st   Statement
+	slot *planSlot
 }
 
-// Prepare parses sql once and returns a reusable statement. The parse is
-// served from (and populates) the DB's statement cache, so repeated Prepare
-// calls for the same text are cheap.
+// Prepare parses sql once and returns a reusable statement. The parse (and
+// the plan slot, so compilations are shared too) is served from and
+// populates the DB's statement cache, so repeated Prepare calls for the
+// same text are cheap.
 func (db *DB) Prepare(sql string) (*Stmt, error) {
-	st, err := db.parseCached(sql)
+	st, slot, err := db.parseCached(sql)
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{db: db, sql: sql, st: st}, nil
+	return &Stmt{db: db, sql: sql, st: st, slot: slot}, nil
 }
 
 // SQL returns the statement's original text.
@@ -41,13 +45,13 @@ func (s *Stmt) SQL() string { return s.sql }
 // Query executes the prepared statement with optional positional parameters
 // bound to '?' placeholders.
 func (s *Stmt) Query(params ...any) (*Result, error) {
-	return s.db.Run(s.st, params...)
+	return s.db.run(s.st, s.slot, params...)
 }
 
 // Exec executes the prepared statement and reports the number of affected
 // rows, mirroring DB.Exec.
 func (s *Stmt) Exec(params ...any) (int, error) {
-	res, err := s.db.Run(s.st, params...)
+	res, err := s.db.run(s.st, s.slot, params...)
 	if err != nil {
 		return 0, err
 	}
@@ -67,6 +71,11 @@ type CacheStats struct {
 	// referencing the altered table, so hot statements over other tables
 	// keep their parsed form.
 	Invalidations uint64
+	// Compiles counts plan compilations (compile.go). A steady workload of
+	// repeated statements should show Compiles plateauing while Hits grows:
+	// prepared and cached statements skip parse and compile alike. DDL on a
+	// referenced table (CREATE/DROP) forces a recompile.
+	Compiles uint64
 	// Size is the current number of cached statements.
 	Size int
 	// Capacity is the configured bound (0 = caching disabled).
@@ -83,32 +92,43 @@ func (s CacheStats) HitRate() float64 {
 }
 
 // CacheStats returns a snapshot of the DB's statement-cache counters.
-func (db *DB) CacheStats() CacheStats { return db.stmts.snapshot() }
+func (db *DB) CacheStats() CacheStats {
+	s := db.stmts.snapshot()
+	s.Compiles = db.compiles.Load()
+	return s
+}
 
-// ResetCacheStats zeroes the hit/miss/eviction/invalidation counters without
-// dropping cached statements, so callers can meter one workload phase.
-func (db *DB) ResetCacheStats() { db.stmts.resetStats() }
+// ResetCacheStats zeroes the hit/miss/eviction/invalidation/compile counters
+// without dropping cached statements, so callers can meter one workload
+// phase.
+func (db *DB) ResetCacheStats() {
+	db.stmts.resetStats()
+	db.compiles.Store(0)
+}
 
 // SetStmtCacheCapacity rebounds the statement cache. Shrinking evicts
 // least-recently-used entries; 0 disables caching entirely (every Query,
 // Exec and Prepare re-parses).
 func (db *DB) SetStmtCacheCapacity(n int) { db.stmts.setCapacity(n) }
 
-// parseCached returns the parsed form of sql, consulting the statement
-// cache first. Only DML/query statements are cached: DDL is rare, and
-// executing it invalidates the touched table's statements anyway.
-func (db *DB) parseCached(sql string) (Statement, error) {
-	if st, ok := db.stmts.lookup(sql); ok {
-		return st, nil
+// parseCached returns the parsed form of sql and its plan slot, consulting
+// the statement cache first. Only DML/query statements are cached: DDL is
+// rare, and executing it invalidates the touched table's statements anyway.
+// The slot rides along with the cache entry, so every caller of the same
+// text (Query, Exec, Prepare handles) shares one compiled plan.
+func (db *DB) parseCached(sql string) (Statement, *planSlot, error) {
+	if st, slot, ok := db.stmts.lookup(sql); ok {
+		return st, slot, nil
 	}
 	st, err := Parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	slot := &planSlot{}
 	if cacheableStmt(st) {
-		db.stmts.insert(sql, st, stmtTables(st))
+		slot = db.stmts.insert(sql, st, stmtTables(st), slot)
 	}
-	return st, nil
+	return st, slot, nil
 }
 
 // cacheableStmt reports whether a statement kind is worth caching.
@@ -174,6 +194,7 @@ type stmtEntry struct {
 	sql    string
 	st     Statement
 	tables []string // lowercased tables the statement touches
+	slot   *planSlot
 }
 
 func newStmtCache(capacity int) *stmtCache {
@@ -184,35 +205,40 @@ func newStmtCache(capacity int) *stmtCache {
 	}
 }
 
-func (c *stmtCache) lookup(sql string) (Statement, bool) {
+func (c *stmtCache) lookup(sql string) (Statement, *planSlot, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[sql]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
-		return el.Value.(*stmtEntry).st, true
+		e := el.Value.(*stmtEntry)
+		return e.st, e.slot, true
 	}
 	c.misses++
-	return nil, false
+	return nil, nil, false
 }
 
-func (c *stmtCache) insert(sql string, st Statement, tables []string) {
+// insert caches the parsed statement with its plan slot and returns the
+// resident slot — the caller's own slot when it won, the earlier entry's
+// when it lost a parse race (so the compiled plan is still shared).
+func (c *stmtCache) insert(sql string, st Statement, tables []string, slot *planSlot) *planSlot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cap <= 0 {
-		return
+		return slot
 	}
 	if el, ok := c.entries[sql]; ok {
 		// Lost a race with another goroutine parsing the same text; keep
 		// the resident entry.
 		c.ll.MoveToFront(el)
-		return
+		return el.Value.(*stmtEntry).slot
 	}
-	el := c.ll.PushFront(&stmtEntry{sql: sql, st: st, tables: tables})
+	el := c.ll.PushFront(&stmtEntry{sql: sql, st: st, tables: tables, slot: slot})
 	c.entries[sql] = el
 	for c.ll.Len() > c.cap {
 		c.evictOldestLocked()
 	}
+	return slot
 }
 
 func (c *stmtCache) evictOldestLocked() {

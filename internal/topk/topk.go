@@ -1,0 +1,70 @@
+// Package topk provides a bounded selection heap: keep the k best items of
+// a stream without materializing or sorting the full input. It backs the
+// relational executor's ORDER BY + LIMIT path and the vector index's k-NN
+// selection, which need identical keep-the-best-k semantics over different
+// element types and orderings.
+package topk
+
+// Heap retains the k items that rank earliest under less. The internal
+// slice is a max-heap on "ranks latest", so the root is the worst kept item
+// and an incoming item only displaces it when it ranks strictly earlier.
+// less must be a strict weak ordering; for deterministic results it should
+// break ties totally (e.g. by sequence number or id).
+type Heap[T any] struct {
+	items []T
+	k     int
+	less  func(a, b T) bool
+}
+
+// New returns a heap keeping the k smallest items under less. k <= 0 keeps
+// nothing.
+func New[T any](k int, less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{k: k, less: less}
+}
+
+// after reports whether a ranks after b.
+func (h *Heap[T]) after(a, b T) bool { return h.less(b, a) }
+
+// Offer considers one item for the kept set.
+func (h *Heap[T]) Offer(x T) {
+	if h.k <= 0 {
+		return
+	}
+	if len(h.items) < h.k {
+		h.items = append(h.items, x)
+		i := len(h.items) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !h.after(h.items[i], h.items[parent]) {
+				break
+			}
+			h.items[i], h.items[parent] = h.items[parent], h.items[i]
+			i = parent
+		}
+		return
+	}
+	if !h.less(x, h.items[0]) {
+		return // ranks at or after the current worst; cannot make the cut
+	}
+	h.items[0] = x
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		latest := i
+		if l < len(h.items) && h.after(h.items[l], h.items[latest]) {
+			latest = l
+		}
+		if r < len(h.items) && h.after(h.items[r], h.items[latest]) {
+			latest = r
+		}
+		if latest == i {
+			return
+		}
+		h.items[i], h.items[latest] = h.items[latest], h.items[i]
+		i = latest
+	}
+}
+
+// Items returns the kept items in heap order (not sorted); callers sort the
+// at-most-k survivors themselves.
+func (h *Heap[T]) Items() []T { return h.items }

@@ -1,0 +1,60 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestKeepsKSmallest(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{0, 1, 3, 10, 100, 500} {
+		n := 200
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(50) // duplicates exercise tie handling
+		}
+		less := func(a, b int) bool { return a < b }
+		h := New(k, less)
+		for _, v := range vals {
+			h.Offer(v)
+		}
+		got := append([]int(nil), h.Items()...)
+		sort.Ints(got)
+		want := append([]int(nil), vals...)
+		sort.Ints(want)
+		if k < n {
+			want = want[:max(k, 0)]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: kept %d items, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d: kept %v, want %v", k, got, want)
+			}
+		}
+	}
+}
+
+func TestDeterministicWithTotalOrder(t *testing.T) {
+	type item struct{ key, seq int }
+	less := func(a, b item) bool {
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.seq < b.seq
+	}
+	h := New(3, less)
+	for seq, key := range []int{5, 1, 5, 1, 1, 9} {
+		h.Offer(item{key: key, seq: seq})
+	}
+	got := append([]item(nil), h.Items()...)
+	sort.Slice(got, func(i, j int) bool { return less(got[i], got[j]) })
+	want := []item{{1, 1}, {1, 3}, {1, 4}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kept %v, want %v", got, want)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"blueprint/internal/topk"
 )
 
 // Hit is a single vector-search result.
@@ -75,23 +77,39 @@ func (ix *Index) Delete(id string) {
 	delete(ix.pos, id)
 }
 
+// hitBefore reports whether a ranks before b in result order: higher
+// score first, ties broken by ascending id for determinism.
+func hitBefore(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
 // Search returns the k nearest vectors to query by cosine similarity,
 // sorted by descending score with ties broken by id for determinism.
+//
+// Selection is a bounded heap of size k (internal/topk) rather than
+// scoring all N vectors into a fresh slice and sorting it: the scan keeps
+// only the k best hits seen so far, so a search allocates O(k) instead of
+// O(N) and the final sort is over k elements. For k >= N the heap
+// degenerates into the full set and the behaviour is identical.
 func (ix *Index) Search(query []float64, k int) []Hit {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if k <= 0 || len(ix.ids) == 0 {
 		return nil
 	}
-	hits := make([]Hit, 0, len(ix.ids))
+	if k > len(ix.ids) {
+		k = len(ix.ids)
+	}
+	heap := topk.New(k, hitBefore)
 	for i, id := range ix.ids {
-		hits = append(hits, Hit{ID: id, Score: Cosine(query, ix.vecs[i])})
+		heap.Offer(Hit{ID: id, Score: Cosine(query, ix.vecs[i])})
 	}
+	hits := heap.Items()
 	sortHits(hits)
-	if k > len(hits) {
-		k = len(hits)
-	}
-	return hits[:k]
+	return hits
 }
 
 func sortHits(hits []Hit) {

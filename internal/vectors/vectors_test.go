@@ -343,3 +343,105 @@ func TestIVFEmptyTrain(t *testing.T) {
 		t.Fatalf("empty trained search = %v, want nil", hits)
 	}
 }
+
+// searchFullSort is the pre-top-k reference: score every vector into a
+// fresh slice and sort all N. Kept in the test package as the oracle for
+// TestSearchTopKMatchesFullSort and the baseline for BenchmarkSearchTopK.
+func searchFullSort(ix *Index, query []float64, k int) []Hit {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if k <= 0 || len(ix.ids) == 0 {
+		return nil
+	}
+	hits := make([]Hit, 0, len(ix.ids))
+	for i, id := range ix.ids {
+		hits = append(hits, Hit{ID: id, Score: Cosine(query, ix.vecs[i])})
+	}
+	sortHits(hits)
+	if k > len(hits) {
+		k = len(hits)
+	}
+	return hits[:k]
+}
+
+// TestSearchTopKMatchesFullSort: the bounded-heap selection must return
+// exactly the full-sort prefix for every k, including ties and k > N.
+func TestSearchTopKMatchesFullSort(t *testing.T) {
+	const dim = 16
+	ix := NewIndex(dim)
+	rng := func(seed int) float64 { return float64((seed*2654435761)%1000) / 1000 }
+	for i := 0; i < 200; i++ {
+		vec := make([]float64, dim)
+		for j := range vec {
+			vec[j] = rng(i*dim + j)
+		}
+		// Duplicate every 10th vector under a different id to force score
+		// ties that exercise the id tie-break inside the heap.
+		if i%10 == 0 && i > 0 {
+			copy(vec, ix.vecs[ix.pos[fmt.Sprintf("v%03d", i-1)]])
+		}
+		if err := ix.Upsert(fmt.Sprintf("v%03d", i), vec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := make([]float64, dim)
+	for j := range query {
+		query[j] = rng(9999 + j)
+	}
+	for _, k := range []int{1, 2, 3, 7, 10, 50, 199, 200, 500} {
+		got := ix.Search(query, k)
+		want := searchFullSort(ix, query, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: got %d hits, want %d", k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d hit %d: got %+v, want %+v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func benchIndex(b *testing.B, n, dim int) (*Index, []float64) {
+	b.Helper()
+	ix := NewIndex(dim)
+	for i := 0; i < n; i++ {
+		vec := make([]float64, dim)
+		for j := range vec {
+			vec[j] = float64((i*dim+j*31)%997) / 997
+		}
+		if err := ix.Upsert(fmt.Sprintf("v%05d", i), vec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	query := make([]float64, dim)
+	for j := range query {
+		query[j] = float64((j*17)%97) / 97
+	}
+	return ix, query
+}
+
+// BenchmarkSearchTopK measures the bounded-heap selection (allocates O(k)).
+func BenchmarkSearchTopK(b *testing.B) {
+	ix, query := benchIndex(b, 5000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hits := ix.Search(query, 10); len(hits) != 10 {
+			b.Fatalf("hits = %d", len(hits))
+		}
+	}
+}
+
+// BenchmarkSearchFullSort is the score-all-then-sort baseline the heap
+// replaced (allocates O(N)); compare allocs/op against BenchmarkSearchTopK.
+func BenchmarkSearchFullSort(b *testing.B) {
+	ix, query := benchIndex(b, 5000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hits := searchFullSort(ix, query, 10); len(hits) != 10 {
+			b.Fatalf("hits = %d", len(hits))
+		}
+	}
+}
