@@ -31,19 +31,23 @@ fmt-check:
 bench:
 	$(GO) test ./internal/relational/ -run XXX -bench . -benchmem
 
-# Smoke run for the concurrency/reuse layers: regenerates the A5 table
-# (concurrent DAG scheduler fan-out speedup + multi-session throughput), the
-# A6 table (step-result memoization: repeated-ask speedup, cross-session
-# single-flight dedup, invalidation) and the A7 table (relational plan
-# compiler: compiled-vs-interpreted scan/join/group-by) in short mode. A6
-# enforces its own invariants — a warm run that re-executes (hit-rate
-# collapse) or a concurrent identical workload that does not coalesce
-# (dedup loss) makes the run fail; A7's >= 2x speedup and allocs floors are
-# enforced in full mode and reported here. CI runs this on every push so
-# regressions surface immediately.
+# Smoke run for the concurrency/reuse/durability layers: regenerates the A5
+# table (concurrent DAG scheduler fan-out speedup + multi-session
+# throughput), the A6 table (step-result memoization: repeated-ask speedup,
+# cross-session single-flight dedup, invalidation), the A7 table (relational
+# plan compiler: compiled-vs-interpreted scan/join/group-by) and the A8
+# table (durability: crash replay vs snapshot restore, warm memo across
+# restart) in short mode. A6 and A8 enforce their own invariants — a warm
+# run that re-executes (hit-rate collapse), a concurrent identical workload
+# that does not coalesce (dedup loss), a crash restart that loses rows, or a
+# restarted process whose repeated ask misses memo (warm-memo loss) makes
+# the run fail; A7's >= 2x speedup/allocs floors and A8's >= 5x
+# snapshot-vs-replay floor are enforced in full mode and reported here. CI
+# runs this on every push so regressions surface immediately.
 bench-smoke:
 	$(GO) run ./cmd/benchharness -fig A5 -short
 	$(GO) run ./cmd/benchharness -fig A6 -short
 	$(GO) run ./cmd/benchharness -fig A7 -short
+	$(GO) run ./cmd/benchharness -fig A8 -short
 
 ci: fmt-check vet build race bench-smoke

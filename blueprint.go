@@ -59,6 +59,25 @@
 // Config.MemoCapacity / Config.DisableMemo, observe through
 // System.MemoStats, blueprintd's GET /memo, `bpctl memo <utterance>`, and
 // `go run ./cmd/benchharness -fig A6`.
+//
+// # Durability and warm restarts
+//
+// Setting Config.DataDir turns on the durability subsystem
+// (internal/durability): one segmented, CRC-framed, group-committed
+// write-ahead log plus snapshot files shared by the relational engine
+// (logical DML/DDL records, table + schema-version snapshots), the memo
+// store (cacheable step results, version-checked at restore against the
+// recovered registries), both registries (snapshot-only) and the streams
+// store (its stand-alone JSON WAL migrated onto the shared engine). A
+// restarted System recovers all of it — snapshot restore plus log replay,
+// with a torn final record truncated rather than fatal — so a repeated
+// ask after a restart is a memo hit instead of a cold re-execution.
+// System.Close flushes a final snapshot; Config.SnapshotEvery adds
+// background snapshots that bound recovery time and truncate the log.
+// Observe through System.DurabilityStats, blueprintd's /stats and POST
+// /snapshot (with -data-dir and graceful SIGINT/SIGTERM shutdown), `bpctl
+// -data-dir D snapshot`, and `go run ./cmd/benchharness -fig A8` (crash
+// replay vs snapshot restore, warm-memo hit rate across restart).
 package blueprint
 
 import (
@@ -87,8 +106,23 @@ type Config struct {
 	ModelTier llm.Tier
 	// ModelAccuracy overrides the tier's accuracy when in (0, 1].
 	ModelAccuracy float64
-	// WALPath enables stream persistence to the given file.
+	// WALPath enables stand-alone stream persistence to the given file
+	// (legacy single-file JSON WAL). Ignored when DataDir is set — the
+	// shared durability engine then persists streams too.
 	WALPath string
+	// DataDir enables the durability subsystem: one segmented write-ahead
+	// log + snapshot directory shared by the relational engine, the memo
+	// store, both registries and the streams store. Opening a System over
+	// an existing DataDir recovers all of it — tables, registry versions,
+	// warm memo entries, stream history — via snapshot restore plus log
+	// replay (a torn final record after a crash is truncated, not fatal).
+	DataDir string
+	// SnapshotEvery takes background snapshots at this interval when
+	// DataDir is set (0 = only on Close and explicit System.Snapshot
+	// calls). Snapshots bound recovery time: restore is one sequential
+	// read instead of a full log replay, and superseded log segments are
+	// deleted.
+	SnapshotEvery time.Duration
 	// Budget is the per-request QoS limit enforced by the coordinator
 	// (default: MaxCost $1).
 	Budget budget.Limits

@@ -3,11 +3,12 @@
 // Usage:
 //
 //	benchharness              # run all experiments
-//	benchharness -fig F7      # run one (F1..F10, A1..A7)
+//	benchharness -fig F7      # run one (F1..F10, A1..A8)
 //	benchharness -fig A4      # plan-cache ablation (statement-cache hit/miss counters)
 //	benchharness -fig A5      # concurrent DAG scheduler: fan-out speedup + multi-session throughput
 //	benchharness -fig A6      # step-result memoization: repeated-ask speedup + cross-session dedup
 //	benchharness -fig A7      # plan compiler: compiled-vs-interpreted ablation (scan/join/group-by)
+//	benchharness -fig A8      # durability: crash replay vs snapshot restore + warm memo across restart
 //	benchharness -seed 7      # change the deterministic seed
 //	benchharness -short       # reduced iterations/latencies (smoke mode, used by make bench-smoke)
 package main
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment id to run (F1..F10, A1..A7, or 'all')")
+	fig := flag.String("fig", "all", "experiment id to run (F1..F10, A1..A8, or 'all')")
 	seed := flag.Int64("seed", 42, "deterministic seed for workloads and the simulated LLM")
 	short := flag.Bool("short", false, "smoke mode: reduced iterations and simulated latencies")
 	flag.Parse()
@@ -46,6 +47,7 @@ func main() {
 		"A5":  experiments.AblationScheduler,
 		"A6":  experiments.AblationMemo,
 		"A7":  experiments.AblationCompile,
+		"A8":  experiments.AblationDurability,
 	}
 
 	if strings.EqualFold(*fig, "all") {

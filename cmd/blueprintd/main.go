@@ -10,21 +10,31 @@
 //	GET  /sessions/{id}/flow               -> per-message flow trace
 //	GET  /agents                           -> agent registry contents
 //	GET  /data                             -> data registry contents
-//	GET  /stats                            -> stream store counters
+//	GET  /stats                            -> stream store + durability counters
 //	GET  /memo                             -> step-result memoization stats
+//	POST /snapshot                         -> take a durability snapshot now
 //
 // Deploy-time tuning: -parallel bounds how many plan steps the coordinator
 // executes concurrently per plan, -memo bounds the step-result memoization
-// cache (entries; -memo 0 uses the default, -no-memo disables reuse).
+// cache (entries; -memo 0 uses the default, -no-memo disables reuse), and
+// -data-dir points the shared durability engine at its WAL + snapshot
+// directory — a restarted daemon then recovers tables, registries, warm
+// memo entries and stream history instead of coming back cold. SIGINT and
+// SIGTERM shut down gracefully: in-flight requests drain, a final snapshot
+// is flushed and the log closes cleanly.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"blueprint"
@@ -45,7 +55,9 @@ type sessionMap struct {
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Int64("seed", 42, "deterministic seed")
-	walPath := flag.String("wal", "", "optional stream WAL path for persistence")
+	walPath := flag.String("wal", "", "optional stand-alone stream WAL path (superseded by -data-dir)")
+	dataDir := flag.String("data-dir", "", "durability directory: shared WAL + snapshots for warm restarts")
+	snapEvery := flag.Duration("snapshot-every", time.Minute, "background snapshot interval when -data-dir is set (0 = only on shutdown)")
 	parallel := flag.Int("parallel", 0, "max concurrently executing steps per plan (0 = default)")
 	memoCap := flag.Int("memo", 0, "step-result memoization cache capacity in entries (0 = default)")
 	noMemo := flag.Bool("no-memo", false, "disable step-result memoization")
@@ -53,12 +65,12 @@ func main() {
 
 	sys, err := blueprint.New(blueprint.Config{
 		Seed: *seed, ModelAccuracy: 1.0, WALPath: *walPath,
+		DataDir: *dataDir, SnapshotEvery: *snapEvery,
 		MaxParallel: *parallel, MemoCapacity: *memoCap, DisableMemo: *noMemo,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer sys.Close()
 
 	s := &server{sys: sys, mu: sessionMap{sessions: map[string]*blueprint.Session{}}}
 	mux := http.NewServeMux()
@@ -70,10 +82,40 @@ func main() {
 	mux.HandleFunc("GET /data", s.data)
 	mux.HandleFunc("GET /stats", s.stats)
 	mux.HandleFunc("GET /memo", s.memo)
+	mux.HandleFunc("POST /snapshot", s.snapshot)
 
+	if *dataDir != "" {
+		rec := sys.DurabilityStats().Recovery
+		log.Printf("durability on at %s: snapshot_restored=%v replayed_records=%d torn_tail=%v recovery=%s",
+			*dataDir, rec.SnapshotRestored, rec.ReplayedRecords, rec.TornTailTruncated, rec.Duration)
+	}
 	log.Printf("blueprintd %s listening on %s (agents=%d, data assets=%d)",
 		blueprint.Version, *addr, sys.AgentRegistry.Len(), sys.DataRegistry.Len())
-	log.Fatal(http.ListenAndServe(*addr, mux))
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		sys.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: drain in-flight requests, then flush a final
+	// snapshot and close the log cleanly (System.Close).
+	log.Printf("shutting down: draining requests, flushing final snapshot")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	sys.Close()
+	if *dataDir != "" {
+		st := sys.DurabilityStats()
+		log.Printf("durability closed: snapshots=%d appends=%d log_bytes=%d", st.Snapshots, st.Appends, st.LogBytes)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -183,14 +225,39 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	sessions := len(s.mu.sessions)
 	s.mu.RUnlock()
+	ds := s.sys.DurabilityStats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"streams": st.StreamsCreated, "messages": st.MessagesAppended,
 		"data": st.DataMessages, "control": st.ControlMessages, "events": st.EventMessages,
 		"subscriptions": st.Subscriptions, "deliveries": st.Deliveries,
 		"version": blueprint.Version, "sessions": sessions,
 		"memo_hits": ms.Hits, "memo_hit_rate": ms.HitRate(),
+		"memo_restored":   ms.Restored,
 		"stmt_cache_hits": cs.Hits, "stmt_cache_hit_rate": cs.HitRate(),
-		"plan_compiles": cs.Compiles,
+		"plan_compiles":        cs.Compiles,
+		"durability_enabled":   s.sys.Durability != nil,
+		"durability_snapshots": ds.Snapshots, "durability_log_bytes": ds.LogBytes,
+		"durability_segments": ds.Segments, "durability_appends": ds.Appends,
+		"durability_fsyncs":             ds.Fsyncs,
+		"durability_last_recovery":      ds.Recovery.Duration.String(),
+		"durability_snapshot_restored":  ds.Recovery.SnapshotRestored,
+		"durability_replayed_records":   ds.Recovery.ReplayedRecords,
+		"durability_torn_tail_repaired": ds.Recovery.TornTailTruncated,
+	})
+}
+
+// snapshot triggers a durability snapshot on demand (POST /snapshot).
+func (s *server) snapshot(w http.ResponseWriter, r *http.Request) {
+	if err := s.sys.Snapshot(); err != nil {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		return
+	}
+	st := s.sys.DurabilityStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"snapshots":      st.Snapshots,
+		"snapshot_bytes": st.SnapshotBytes,
+		"log_bytes":      st.LogBytes,
+		"segments":       st.Segments,
 	})
 }
 

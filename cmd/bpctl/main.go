@@ -14,6 +14,11 @@
 //	bpctl ask <utterance>             # full pipeline, print answer + flow
 //	bpctl memo <utterance>            # run the plan twice: cold vs memo-warm + stats
 //	bpctl sql <statement>             # raw SQL against the enterprise DB
+//	bpctl -data-dir D snapshot        # take a durability snapshot + print stats
+//
+// With -data-dir every command runs against the durable state in that
+// directory (recovering it first), so e.g. `bpctl -data-dir D sql ...`
+// mutates durably and `bpctl -data-dir D snapshot` compacts the log.
 package main
 
 import (
@@ -31,13 +36,14 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 42, "deterministic seed")
+	dataDir := flag.String("data-dir", "", "durability directory (recover from and persist to it)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("usage: bpctl <agents|data|search-agents|discover|nl2q|plan|ask|sql> [args]")
+		log.Fatal("usage: bpctl [-data-dir D] <agents|data|search-agents|discover|nl2q|plan|ask|memo|sql|snapshot> [args]")
 	}
 
-	sys, err := blueprint.New(blueprint.Config{Seed: *seed, ModelAccuracy: 1.0})
+	sys, err := blueprint.New(blueprint.Config{Seed: *seed, ModelAccuracy: 1.0, DataDir: *dataDir})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -141,6 +147,16 @@ func main() {
 		}
 		fmt.Println(res)
 		fmt.Printf("plan: %s\n", res.Plan)
+	case "snapshot":
+		if err := sys.Snapshot(); err != nil {
+			log.Fatal(err)
+		}
+		st := sys.DurabilityStats()
+		fmt.Printf("snapshot taken: bytes=%d segments=%d log_bytes=%d snapshots_this_run=%d\n",
+			st.SnapshotBytes, st.Segments, st.LogBytes, st.Snapshots)
+		rec := st.Recovery
+		fmt.Printf("recovery at open: snapshot_restored=%v replayed_records=%d torn_tail_repaired=%v duration=%s\n",
+			rec.SnapshotRestored, rec.ReplayedRecords, rec.TornTailTruncated, rec.Duration)
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}

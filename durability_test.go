@@ -1,0 +1,243 @@
+package blueprint
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"blueprint/internal/streams"
+)
+
+// streamsMessage builds a simple data message for the torn-WAL test.
+func streamsMessage(stream, payload string) streams.Message {
+	return streams.Message{Stream: stream, Sender: "tester", Payload: payload}
+}
+
+// newDurableSystem boots a System over dir with durability on.
+func newDurableSystem(t testing.TB, dir string) *System {
+	t.Helper()
+	sys, err := New(Config{ModelAccuracy: 1.0, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestDurableRestartRecoversTablesRegistriesAndStreams(t *testing.T) {
+	dir := t.TempDir()
+	sys := newDurableSystem(t, dir)
+	db := sys.Enterprise.DB
+
+	if _, err := db.Exec(`CREATE TABLE audit (id INT, note TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 25; i++ {
+		if _, err := db.Exec(`INSERT INTO audit VALUES (?, ?)`, i, fmt.Sprintf("n%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Exec(`DELETE FROM jobs WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	var jobsAfter int
+	if res, err := db.Query(`SELECT COUNT(*) FROM jobs`); err != nil {
+		t.Fatal(err)
+	} else {
+		jobsAfter = int(res.Rows[0][0].I)
+	}
+	// A registry change that must survive via snapshot.
+	spec, err := sys.AgentRegistry.Get("SUMMARIZER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Description = spec.Description + " (tuned)"
+	if err := sys.AgentRegistry.Update(spec); err != nil {
+		t.Fatal(err)
+	}
+	wantVersion := spec.Version + 1
+	// Stream traffic via a session.
+	sess, err := sys.StartSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Ask("How many jobs are in San Francisco?", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sessID := sess.ID
+	flowLen := len(sess.Flow())
+	sys.Close() // graceful: snapshot + clean log close
+
+	sys2 := newDurableSystem(t, dir)
+	defer sys2.Close()
+	if !sys2.DurabilityStats().Recovery.SnapshotRestored {
+		t.Fatal("graceful restart did not restore from snapshot")
+	}
+	res, err := sys2.Enterprise.DB.Query(`SELECT COUNT(*) FROM audit`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 25 {
+		t.Fatalf("audit rows after restart = %d, want 25", res.Rows[0][0].I)
+	}
+	res, err = sys2.Enterprise.DB.Query(`SELECT COUNT(*) FROM jobs`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(res.Rows[0][0].I) != jobsAfter {
+		t.Fatalf("jobs rows after restart = %d, want %d (DELETE lost?)", res.Rows[0][0].I, jobsAfter)
+	}
+	got, err := sys2.AgentRegistry.Get("SUMMARIZER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != wantVersion {
+		t.Fatalf("SUMMARIZER version after restart = %d, want %d", got.Version, wantVersion)
+	}
+	// The previous session's stream history is part of the recovered state.
+	hist := sys2.Store.History(sessID)
+	if len(hist) < flowLen {
+		t.Fatalf("recovered %d stream messages for %s, want >= %d", len(hist), sessID, flowLen)
+	}
+}
+
+func TestDurableRestartServesRepeatedAskFromMemo(t *testing.T) {
+	dir := t.TempDir()
+	sys := newDurableSystem(t, dir)
+	sess, err := sys.StartSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = "How many jobs are in San Francisco?"
+	res1, _, err := sess.ExecuteUtterance(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(res1.Steps)
+	if want == 0 {
+		t.Fatal("cold ask executed no steps")
+	}
+	sys.Close()
+
+	sys2 := newDurableSystem(t, dir)
+	defer sys2.Close()
+	if sys2.MemoStats().Restored == 0 {
+		t.Fatal("no memo entries restored after graceful restart")
+	}
+	sess2, err := sys2.StartSession("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, _, err := sess2.ExecuteUtterance(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := 0
+	for _, sr := range res2.Steps {
+		if sr.Cached {
+			cached++
+		}
+	}
+	if cached == 0 {
+		t.Fatalf("repeated ask after restart hit no memo entries (%d steps)", len(res2.Steps))
+	}
+	if sys2.MemoStats().Hits == 0 {
+		t.Fatal("memo stats show no hits after restart")
+	}
+}
+
+func TestDurableCrashReplayWithoutSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	sys := newDurableSystem(t, dir)
+	db := sys.Enterprise.DB
+	if _, err := db.Exec(`CREATE TABLE crashy (id INT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 40; i++ {
+		if _, err := db.Exec(`INSERT INTO crashy VALUES (?)`, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.SimulateCrash() // no snapshot: next open must replay the log
+
+	sys2 := newDurableSystem(t, dir)
+	defer sys2.Close()
+	st := sys2.DurabilityStats()
+	if st.Recovery.SnapshotRestored {
+		t.Fatal("crash restart claimed a snapshot restore")
+	}
+	if st.Recovery.ReplayedRecords == 0 {
+		t.Fatal("crash restart replayed no records")
+	}
+	res, err := sys2.Enterprise.DB.Query(`SELECT COUNT(*) FROM crashy`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 40 {
+		t.Fatalf("crashy rows after replay = %d, want 40", res.Rows[0][0].I)
+	}
+}
+
+// TestDurableTornWALRecoversPrefix is the system-level crash-safety
+// property test: kill the log at a random byte offset and the recovered
+// relational rows and stream messages must be an exact prefix of the
+// committed history.
+func TestDurableTornWALRecoversPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 30
+	for trial := 0; trial < 5; trial++ {
+		dir := t.TempDir()
+		sys := newDurableSystem(t, dir)
+		db := sys.Enterprise.DB
+		if _, err := db.Exec(`CREATE TABLE seqd (id INT)`); err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= n; i++ {
+			if _, err := db.Exec(`INSERT INTO seqd VALUES (?)`, i); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.Store.Publish(
+				streamsMessage("torn-test", fmt.Sprintf("m%d", i)),
+			); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sys.SimulateCrash()
+
+		segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+		if err != nil || len(segs) == 0 {
+			t.Fatalf("no wal segments: %v %v", segs, err)
+		}
+		last := segs[len(segs)-1]
+		fi, err := os.Stat(last)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(last, rng.Int63n(fi.Size()+1)); err != nil {
+			t.Fatal(err)
+		}
+
+		sys2 := newDurableSystem(t, dir)
+		rows := 0
+		if res, err := sys2.Enterprise.DB.Query(`SELECT id FROM seqd ORDER BY id`); err == nil {
+			rows = len(res.Rows)
+			for i, row := range res.Rows {
+				if row[0].I != int64(i+1) {
+					t.Fatalf("trial %d: relational rows are not a prefix at %d: %v", trial, i, row[0].I)
+				}
+			}
+		}
+		msgs, _ := sys2.Store.ReadAll("torn-test")
+		for i, m := range msgs {
+			if m.PayloadString() != fmt.Sprintf("m%d", i+1) {
+				t.Fatalf("trial %d: stream messages are not a prefix at %d: %q", trial, i, m.PayloadString())
+			}
+		}
+		if rows > n || len(msgs) > n {
+			t.Fatalf("trial %d: recovered more than committed (rows=%d msgs=%d)", trial, rows, len(msgs))
+		}
+		sys2.Close()
+	}
+}

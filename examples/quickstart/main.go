@@ -1,12 +1,16 @@
 // Quickstart: boot a blueprint System, open a session, and run one
 // conversational request end to end through the full architecture —
 // intent classification, NL2Q, SQL execution and summarization, all
-// orchestrated over streams.
+// orchestrated over streams. The second half demonstrates durability:
+// reopening the system over the same data directory recovers everything
+// warm, so the repeated question is answered from the memo store without
+// executing a single agent.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"blueprint"
@@ -42,4 +46,54 @@ func main() {
 	// The entire orchestration is observable on the streams.
 	fmt.Printf("session flow: %d messages across %d components\n",
 		len(sess.Flow()), len(sys.AgentRegistry.List()))
+
+	// Durability: the same system with Config.DataDir set persists every
+	// stateful layer — tables, registries, memoized step results, stream
+	// history — through one shared WAL + snapshot engine. Close() flushes
+	// a final snapshot; reopening recovers warm.
+	dir, err := os.MkdirTemp("", "blueprint-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	durable, err := blueprint.New(blueprint.Config{ModelAccuracy: 1.0, DataDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dsess, err := durable.StartSession("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const question = "How many jobs are in San Francisco?"
+	cold, _, err := dsess.ExecuteUtterance(question)
+	if err != nil {
+		log.Fatal(err)
+	}
+	durable.Close() // graceful: final snapshot + clean log close
+
+	reopened, err := blueprint.New(blueprint.Config{ModelAccuracy: 1.0, DataDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reopened.Close()
+	rsess, err := reopened.StartSession("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	warm, _, err := rsess.ExecuteUtterance(question)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cached := 0
+	for _, sr := range warm.Steps {
+		if sr.Cached {
+			cached++
+		}
+	}
+	rec := reopened.DurabilityStats().Recovery
+	fmt.Printf("\nwarm restart: snapshot_restored=%v recovery=%s memo_restored=%d\n",
+		rec.SnapshotRestored, rec.Duration, reopened.MemoStats().Restored)
+	fmt.Printf("repeated ask after restart: %d/%d steps served from memo (cold run executed %d)\n",
+		cached, len(warm.Steps), len(cold.Steps))
 }

@@ -137,6 +137,9 @@ type Stats struct {
 	// hit and coalesced request — the work reuse avoided.
 	SavedCost    float64
 	SavedLatency time.Duration
+	// Restored counts entries loaded from the durability snapshot/log at
+	// recovery — the warm-start seed a restarted process begins with.
+	Restored int
 }
 
 // HitRate is hits/(hits+misses); 0 when nothing was looked up.
@@ -187,6 +190,11 @@ type Store struct {
 	sourceEpoch map[string]uint64
 	stats       Stats
 	now         func() time.Time // injectable for TTL tests
+
+	// dur is the optional durability wiring (durable.go): cacheable
+	// results and invalidations are logged to the shared WAL and restored
+	// on reopen, version-checked against the restored registries.
+	dur DurableConfig
 }
 
 // New creates a store bounded to capacity entries (DefaultCapacity when
@@ -260,6 +268,7 @@ func (s *Store) Put(key Key, agent string, sources []string, ttl time.Duration, 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.putLocked(key, agent, sources, ttl, val)
+	s.logPutLocked(key, agent, sources, ttl, val)
 }
 
 // canonName normalizes an agent/source name for the invalidation indexes
@@ -346,6 +355,7 @@ func (s *Store) Do(ctx context.Context, key Key, agent string, sources []string,
 		f.shared = err == nil && s.epochsCurrentLocked(f)
 		if f.shared {
 			s.putLocked(key, agent, sources, ttl, val)
+			s.logPutLocked(key, agent, sources, ttl, val)
 		}
 		s.mu.Unlock()
 		close(f.done)
@@ -363,6 +373,12 @@ func (s *Store) InvalidateAgent(agent string) int {
 	agent = canonName(agent)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	n := s.invalidateAgentLocked(agent)
+	s.logInvalidateLocked(opInvalidateAgent, agent)
+	return n
+}
+
+func (s *Store) invalidateAgentLocked(agent string) int {
 	s.agentEpoch[agent]++
 	n := 0
 	for key := range s.byAgent[agent] {
@@ -383,6 +399,12 @@ func (s *Store) InvalidateSource(source string) int {
 	source = canonName(source)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	n := s.invalidateSourceLocked(source)
+	s.logInvalidateLocked(opInvalidateSource, source)
+	return n
+}
+
+func (s *Store) invalidateSourceLocked(source string) int {
 	s.sourceEpoch[source]++
 	n := 0
 	for key := range s.bySource[source] {

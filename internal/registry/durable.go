@@ -1,0 +1,87 @@
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Durable adapts the two registries to the durability engine's Loggable
+// interface as one snapshot-only subsystem: agent specs and data assets
+// change rarely (and deterministically at boot), so they are captured at
+// snapshot time rather than logged per mutation. Restore upserts the
+// snapshot's specs/assets over the boot-time registrations, preserving the
+// recorded versions — which is exactly what the memo layer's restore
+// validation checks warm entries against.
+//
+// Limitation, by design: registry changes made after the last snapshot are
+// lost on crash (the next boot re-registers the base set). Memoized
+// results are still safe — agent-version mismatches drop stale entries at
+// restore, and memo invalidation records replay from the log.
+type Durable struct {
+	Agents *AgentRegistry
+	Data   *DataRegistry
+}
+
+// durableImage is the snapshot payload.
+type durableImage struct {
+	Agents []AgentSpec `json:"agents"`
+	Assets []DataAsset `json:"assets"`
+}
+
+// Apply rejects log records: the registries never append any, so one in
+// the log means corruption or a framing bug.
+func (d Durable) Apply([]byte) error {
+	return errors.New("registry: unexpected WAL record (registries are snapshot-only)")
+}
+
+// Snapshot serializes both registries. It implements durability.Loggable.
+func (d Durable) Snapshot(w io.Writer) error {
+	img := durableImage{Agents: d.Agents.List(), Assets: d.Data.List("", "")}
+	return json.NewEncoder(w).Encode(img)
+}
+
+// Restore upserts the snapshot's specs and assets, preserving versions and
+// registration order for pre-existing names. No change hooks fire: the
+// memo layer revalidates against the restored versions itself, and firing
+// invalidations here would wrongly drop entries about to be restored.
+func (d Durable) Restore(r io.Reader) error {
+	var img durableImage
+	if err := json.NewDecoder(r).Decode(&img); err != nil {
+		return fmt.Errorf("registry: decode snapshot: %w", err)
+	}
+	d.Agents.restoreSpecs(img.Agents)
+	d.Data.restoreAssets(img.Assets)
+	return nil
+}
+
+// restoreSpecs replaces/installs specs exactly as snapshotted (versions
+// included), without version bumps or change notifications.
+func (r *AgentRegistry) restoreSpecs(specs []AgentSpec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, spec := range specs {
+		key := strings.ToLower(spec.Name)
+		if _, ok := r.specs[key]; !ok {
+			r.order = append(r.order, key)
+		}
+		r.specs[key] = spec
+		_ = r.reindexLocked(key)
+	}
+}
+
+// restoreAssets mirrors restoreSpecs for the data registry.
+func (r *DataRegistry) restoreAssets(assets []DataAsset) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, a := range assets {
+		key := strings.ToLower(a.Name)
+		if _, ok := r.assets[key]; !ok {
+			r.order = append(r.order, key)
+		}
+		r.assets[key] = a
+		_ = r.index.Upsert(key, r.embedder.Embed(a.searchText()))
+	}
+}

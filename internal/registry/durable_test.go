@@ -1,0 +1,75 @@
+package registry
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDurableSnapshotRestorePreservesVersions(t *testing.T) {
+	agents := NewAgentRegistry()
+	data := NewDataRegistry()
+	spec := AgentSpec{Name: "NL2Q", Description: "compile NL to SQL", Cacheable: true, Reads: []string{"hr"}}
+	if err := agents.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	// Two real updates bump NL2Q to version 3.
+	for _, desc := range []string{"v2 desc", "v3 desc"} {
+		spec.Description = desc
+		if err := agents.Update(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := data.Register(DataAsset{Name: "hr", Kind: KindRelational, Level: LevelDatabase, Description: "hr db"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := data.Register(DataAsset{Name: "hr.jobs", Kind: KindRelational, Level: LevelTable, Parent: "hr", Description: "jobs"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := data.Touch("hr.jobs"); err != nil { // hr.jobs v2, hr v2 (hierarchy)
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := (Durable{Agents: agents, Data: data}.Snapshot(&buf)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh boot re-registers the base set at version 1, then restores.
+	agents2 := NewAgentRegistry()
+	data2 := NewDataRegistry()
+	if err := agents2.Register(AgentSpec{Name: "NL2Q", Description: "compile NL to SQL"}); err != nil {
+		t.Fatal(err)
+	}
+	notified := 0
+	agents2.OnChange(func(string) { notified++ })
+	if err := (Durable{Agents: agents2, Data: data2}.Restore(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := agents2.Get("nl2q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 3 || got.Description != "v3 desc" {
+		t.Fatalf("restored spec = v%d %q, want v3 \"v3 desc\"", got.Version, got.Description)
+	}
+	if notified != 0 {
+		t.Fatalf("restore fired %d change notifications, want 0", notified)
+	}
+	jobs, err := data2.Get("hr.jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs.Version != 2 {
+		t.Fatalf("restored hr.jobs version = %d, want 2", jobs.Version)
+	}
+	if hits := data2.Discover("jobs table", 3); len(hits) == 0 {
+		t.Fatal("restored assets are not searchable")
+	}
+}
+
+func TestDurableApplyRejectsLogRecords(t *testing.T) {
+	d := Durable{Agents: NewAgentRegistry(), Data: NewDataRegistry()}
+	if err := d.Apply([]byte("{}")); err == nil {
+		t.Fatal("Apply must reject log records for a snapshot-only subsystem")
+	}
+}

@@ -82,7 +82,7 @@ func (db *DB) Query(sql string, params ...any) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.run(st, slot, params...)
+	return db.runLogged(sql, st, slot, params...)
 }
 
 // Exec runs a statement that does not produce rows (INSERT, UPDATE, DELETE,
@@ -93,7 +93,7 @@ func (db *DB) Exec(sql string, params ...any) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := db.run(st, slot, params...)
+	res, err := db.runLogged(sql, st, slot, params...)
 	if err != nil {
 		return 0, err
 	}
@@ -112,18 +112,61 @@ func affectedCount(res *Result) int {
 // Run executes a parsed statement. Successful mutations (DML and DDL)
 // notify the OnWrite hooks with the affected table. Statements executed
 // through Run directly (without a Query/Exec/Prepare plan slot) use the
-// interpreted evaluator; the cached entry points use compiled plans.
+// interpreted evaluator; the cached entry points use compiled plans. Run
+// bypasses the durability WAL (the original SQL text is unavailable for a
+// logical record): durable deployments mutate through Query/Exec/Prepare.
 func (db *DB) Run(st Statement, params ...any) (*Result, error) {
-	return db.run(st, nil, params...)
+	return db.runLogged("", st, nil, params...)
 }
 
-// run executes a parsed statement, using the slot's compiled plan when one
-// is provided.
-func (db *DB) run(st Statement, slot *planSlot, params ...any) (*Result, error) {
+// runLogged executes a statement, appending a WAL record for successful
+// mutations when a durability sink is attached. The execution and the
+// append run under the sink's LogMutation so the pair cannot straddle a
+// snapshot boundary (logical SQL replay is not idempotent).
+func (db *DB) runLogged(sqlText string, st Statement, slot *planSlot, params ...any) (*Result, error) {
 	vals := make([]Value, len(params))
 	for i, p := range params {
 		vals[i] = FromGo(p)
 	}
+	sink := db.durableSink()
+	if sink == nil || sqlText == "" || !isMutationStmt(st) {
+		return db.runVals(st, slot, vals)
+	}
+	var (
+		res     *Result
+		execErr error
+		bufp    *[]byte
+	)
+	walErr := sink.LogMutation(func() ([]byte, error) {
+		res, execErr = db.runVals(st, slot, vals)
+		// Failing statements are logged too: a multi-row INSERT or an
+		// UPDATE/DELETE can error midway with earlier rows already
+		// applied, and execution is deterministic, so replaying the
+		// statement reproduces exactly the partial effect the live run
+		// kept (Apply ignores the identical re-failure). Skipping the
+		// record here would make recovery diverge from the state every
+		// later logged statement executed against.
+		bufp = walBufPool.Get().(*[]byte)
+		*bufp = appendWALRecord((*bufp)[:0], sqlText, vals)
+		return *bufp, nil
+	})
+	if bufp != nil {
+		walBufPool.Put(bufp)
+	}
+	if execErr != nil {
+		return nil, execErr
+	}
+	if walErr != nil {
+		// The in-memory state mutated but the WAL append failed: surface
+		// it — the caller must treat the write as not durable.
+		return nil, fmt.Errorf("relational: wal append: %w", walErr)
+	}
+	return res, nil
+}
+
+// runVals executes a parsed statement, using the slot's compiled plan when
+// one is provided.
+func (db *DB) runVals(st Statement, slot *planSlot, vals []Value) (*Result, error) {
 	switch s := st.(type) {
 	case *SelectStmt:
 		return db.execSelect(s, slot, vals)

@@ -136,6 +136,10 @@ type DB struct {
 
 	writeMu sync.RWMutex
 	onWrite []func(table string)
+
+	// durable holds the optional write-ahead-log sink (durable.go) as a
+	// durableBox; nil until SetDurable.
+	durable atomic.Value
 }
 
 // bumpVersionLocked advances the schema version of the (lowercased) table

@@ -45,13 +45,13 @@ func (s *Stmt) SQL() string { return s.sql }
 // Query executes the prepared statement with optional positional parameters
 // bound to '?' placeholders.
 func (s *Stmt) Query(params ...any) (*Result, error) {
-	return s.db.run(s.st, s.slot, params...)
+	return s.db.runLogged(s.sql, s.st, s.slot, params...)
 }
 
 // Exec executes the prepared statement and reports the number of affected
 // rows, mirroring DB.Exec.
 func (s *Stmt) Exec(params ...any) (int, error) {
-	res, err := s.db.run(s.st, s.slot, params...)
+	res, err := s.db.runLogged(s.sql, s.st, s.slot, params...)
 	if err != nil {
 		return 0, err
 	}
@@ -271,6 +271,16 @@ func (c *stmtCache) invalidateTable(table string) {
 			}
 		}
 	}
+	c.invalidations++
+}
+
+// flushAll drops every cached statement (a durability Restore replaced the
+// whole catalog, so no parsed form or compiled plan can be trusted).
+func (c *stmtCache) flushAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.entries = make(map[string]*list.Element)
 	c.invalidations++
 }
 

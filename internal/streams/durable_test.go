@@ -1,0 +1,248 @@
+package streams
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blueprint/internal/durability"
+)
+
+const testSubID = 4
+
+func openDurableStore(t testing.TB, dir string) (*Store, *durability.Engine) {
+	t.Helper()
+	s := NewStore()
+	eng, err := durability.Open(dir, durability.Options{DisableFsync: true, FlushEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register(testSubID, "streams", s); err != nil {
+		t.Fatal(err)
+	}
+	s.SetDurable(eng.Logger(testSubID).Append)
+	if err := eng.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	return s, eng
+}
+
+func publishN(t testing.TB, s *Store, stream string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := s.Publish(Message{
+			Stream: stream, Sender: "tester", Payload: map[string]any{"i": i},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// payloadI extracts the "i" counter a publishN message carries, tolerating
+// the JSON round trip (numbers decode as float64).
+func payloadI(m Message) string {
+	p, ok := m.Payload.(map[string]any)
+	if !ok {
+		return fmt.Sprintf("bad payload %T", m.Payload)
+	}
+	return fmt.Sprint(p["i"])
+}
+
+func TestEngineReplayRecoversStreams(t *testing.T) {
+	dir := t.TempDir()
+	s, eng := openDurableStore(t, dir)
+	publishN(t, s, "chat", 20)
+	if err := s.CloseStream("done-stream", "tester"); err == nil {
+		t.Fatal("closing a missing stream should fail") // sanity
+	}
+	if _, err := s.Publish(Message{Stream: "done-stream", Sender: "tester", Payload: map[string]any{"x": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseStream("done-stream", "tester"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, eng2 := openDurableStore(t, dir)
+	defer eng2.Close()
+	defer s2.Close()
+	msgs, err := s2.ReadAll("chat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 20 {
+		t.Fatalf("recovered %d messages, want 20", len(msgs))
+	}
+	for i, m := range msgs {
+		if payloadI(m) != fmt.Sprint(i) {
+			t.Fatalf("message %d payload = %v", i, payloadI(m))
+		}
+	}
+	info, err := s2.Info("done-stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Closed {
+		t.Fatal("EOS state lost across recovery")
+	}
+	// The logical clock and message ids must continue past the recovered
+	// history — no reused ids.
+	m, err := s2.Publish(Message{Stream: "chat", Sender: "tester", Payload: map[string]any{"i": 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seq != 20 {
+		t.Fatalf("post-recovery Seq = %d, want 20", m.Seq)
+	}
+}
+
+func TestEngineSnapshotPlusTailReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, eng := openDurableStore(t, dir)
+	publishN(t, s, "chat", 10)
+	if err := eng.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	publishN(t, s, "chat", 5) // the post-snapshot tail
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, eng2 := openDurableStore(t, dir)
+	defer eng2.Close()
+	defer s2.Close()
+	msgs, err := s2.ReadAll("chat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 15 {
+		t.Fatalf("recovered %d messages (snapshot 10 + tail 5), want 15", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.Seq != int64(i) {
+			t.Fatalf("message %d has Seq %d after snapshot+replay (duplicate or gap)", i, m.Seq)
+		}
+	}
+}
+
+// TestLegacyWALTornTailTruncated is the regression test for the legacy
+// JSON WAL crash-safety fix: garbage after the last valid record must be
+// truncated at recovery, so records appended by the next run stay
+// reachable to every later recovery. Without the truncation, run 3 would
+// lose everything run 2 wrote.
+func TestLegacyWALTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.wal")
+
+	// Run 1: write two messages, then crash mid-record.
+	s, err := Open(Options{WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishN(t, s, "chat", 2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":"append","msg":{"stream":"chat","pa`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Run 2: recovers the two messages, truncates the torn tail, appends
+	// a third.
+	s2, err := Open(Options{WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs, _ := s2.ReadAll("chat"); len(msgs) != 2 {
+		t.Fatalf("run 2 recovered %d messages, want 2", len(msgs))
+	}
+	if _, err := s2.Publish(Message{Stream: "chat", Sender: "tester", Payload: map[string]any{"i": 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 3: all three messages must be there — the third must not be
+	// hidden behind leftover garbage.
+	s3, err := Open(Options{WALPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	msgs, err := s3.ReadAll("chat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("run 3 recovered %d messages, want 3 (torn tail not truncated?)", len(msgs))
+	}
+}
+
+func TestSnapshotRestoreRoundTripDirect(t *testing.T) {
+	s := NewStore()
+	defer s.Close()
+	publishN(t, s, "a", 3)
+	publishN(t, s, "b", 2)
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore()
+	defer s2.Close()
+	if err := s2.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for stream, want := range map[string]int{"a": 3, "b": 2} {
+		msgs, err := s2.ReadAll(stream)
+		if err != nil || len(msgs) != want {
+			t.Fatalf("stream %s: %d messages (err %v), want %d", stream, len(msgs), err, want)
+		}
+	}
+	if got := s2.StatsSnapshot(); got.MessagesAppended != 5 {
+		t.Fatalf("restored stats count %d appends, want 5", got.MessagesAppended)
+	}
+}
+
+func TestEngineTornTailPrefixForStreams(t *testing.T) {
+	dir := t.TempDir()
+	s, eng := openDurableStore(t, dir)
+	publishN(t, s, "chat", 30)
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	seg := filepath.Join(dir, "wal-00000001.log")
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()*2/3); err != nil {
+		t.Fatal(err)
+	}
+	s2, eng2 := openDurableStore(t, dir)
+	defer eng2.Close()
+	defer s2.Close()
+	msgs, err := s2.ReadAll("chat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) == 0 || len(msgs) >= 30 {
+		t.Fatalf("recovered %d messages from a 2/3 log, want a proper prefix", len(msgs))
+	}
+	for i, m := range msgs {
+		if payloadI(m) != fmt.Sprint(i) {
+			t.Fatalf("message %d is not the committed prefix: %v", i, payloadI(m))
+		}
+	}
+}

@@ -52,7 +52,11 @@ type Store struct {
 	nextMsg atomic.Int64
 	closed  bool
 
-	wal *walWriter
+	// wal is the legacy stand-alone JSON WAL (Options.WALPath); sink is
+	// the shared durability engine's append (SetDurable). At most one is
+	// set in practice.
+	wal  *walWriter
+	sink func(payload []byte) error
 
 	stats Stats
 }
@@ -142,6 +146,9 @@ func (s *Store) CreateStream(id string, info StreamInfo) (StreamInfo, error) {
 			return StreamInfo{}, err
 		}
 	}
+	if err := s.logRecordLocked(walRecord{Type: "create", Stream: &info}); err != nil {
+		return StreamInfo{}, err
+	}
 	return info, nil
 }
 
@@ -228,6 +235,9 @@ func (s *Store) Append(msg Message) (Message, error) {
 	var walErr error
 	if s.wal != nil {
 		walErr = s.wal.writeAppend(msg)
+	}
+	if walErr == nil {
+		walErr = s.logRecordLocked(walRecord{Type: "append", Msg: &msg})
 	}
 	s.mu.Unlock()
 

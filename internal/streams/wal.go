@@ -80,8 +80,11 @@ func (s *Store) Sync() error {
 }
 
 // recover replays a WAL file into the store. A missing file is not an error
-// (fresh store). Partially written trailing lines are tolerated, matching
-// crash-recovery semantics.
+// (fresh store). A torn trailing record — expected after a crash — stops
+// the replay and is truncated off the file, so the writer subsequently
+// appends at a valid record boundary: without the truncation, the next
+// run's records would land after the garbage and be unreachable to every
+// later recovery.
 func (s *Store) recover(path string) error {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -90,63 +93,33 @@ func (s *Store) recover(path string) error {
 	if err != nil {
 		return fmt.Errorf("streams: open wal for recovery: %w", err)
 	}
-	defer f.Close()
 
 	dec := json.NewDecoder(bufio.NewReaderSize(f, 1<<16))
+	var lastGood int64
+	truncate := false
 	for {
 		var rec walRecord
 		if err := dec.Decode(&rec); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil
+			if !errors.Is(err, io.EOF) {
+				truncate = true
+				var syn *json.SyntaxError
+				if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.As(err, &syn) {
+					f.Close()
+					return fmt.Errorf("streams: wal replay: %w", err)
+				}
 			}
-			// A torn trailing record is expected after a crash; stop replay.
-			var syn *json.SyntaxError
-			if errors.As(err, &syn) {
-				return nil
-			}
-			return fmt.Errorf("streams: wal replay: %w", err)
+			break
 		}
-		switch rec.Type {
-		case "create":
-			if rec.Stream == nil {
-				continue
-			}
-			info := *rec.Stream
-			st := &stream{info: info}
-			st.info.Len = 0
-			st.info.Closed = false
-			if _, ok := s.streams[info.ID]; ok {
-				continue
-			}
-			s.streams[info.ID] = st
-			s.order = append(s.order, info.ID)
-			s.stats.StreamsCreated++
-			if info.CreatedTS > s.clock.Load() {
-				s.clock.Store(info.CreatedTS)
-			}
-		case "append":
-			if rec.Msg == nil {
-				continue
-			}
-			m := *rec.Msg
-			st, ok := s.streams[m.Stream]
-			if !ok {
-				continue
-			}
-			m.Seq = st.info.Len
-			st.msgs = append(st.msgs, m)
-			st.info.Len++
-			if m.IsEOS() {
-				st.info.Closed = true
-			}
-			s.stats.MessagesAppended++
-			if m.TS > s.clock.Load() {
-				s.clock.Store(m.TS)
-			}
-			var n int64
-			if _, err := fmt.Sscanf(m.ID, "m%d", &n); err == nil && n > s.nextMsg.Load() {
-				s.nextMsg.Store(n)
-			}
+		lastGood = dec.InputOffset()
+		s.mu.Lock()
+		s.applyRecordLocked(rec)
+		s.mu.Unlock()
+	}
+	f.Close()
+	if truncate {
+		if err := os.Truncate(path, lastGood); err != nil {
+			return fmt.Errorf("streams: truncate torn wal tail: %w", err)
 		}
 	}
+	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"blueprint/internal/budget"
 	"blueprint/internal/coordinator"
 	"blueprint/internal/dataplan"
+	"blueprint/internal/durability"
 	"blueprint/internal/hragents"
 	"blueprint/internal/llm"
 	"blueprint/internal/memo"
@@ -18,6 +19,15 @@ import (
 	"blueprint/internal/streams"
 	"blueprint/internal/trace"
 	"blueprint/internal/workload"
+)
+
+// Durability subsystem ids: the first byte of every WAL record names the
+// owning subsystem. Stable across releases — they are on disk.
+const (
+	subRegistries uint8 = 1
+	subRelational uint8 = 2
+	subMemo       uint8 = 3
+	subStreams    uint8 = 4
 )
 
 // ErrNoResponse is returned when a session request produces no display
@@ -50,6 +60,10 @@ type System struct {
 	// cache (nil when Config.DisableMemo is set). Registry changes and
 	// data-asset version bumps invalidate it automatically.
 	Memo *memo.Store
+	// Durability is the shared WAL + snapshot engine (nil unless
+	// Config.DataDir is set). Close takes a final snapshot through it;
+	// Snapshot and DurabilityStats expose it for operations.
+	Durability *durability.Engine
 	// Model is the simulated LLM shared by LLM-backed agents.
 	Model *llm.Model
 	// Enterprise is the generated YourJourney substrate (§II).
@@ -67,7 +81,11 @@ func New(cfg Config) (*System, error) {
 	}
 	model := llm.New(cfg.modelConfig(), ent.KB)
 
-	store, err := streams.Open(streams.Options{WALPath: cfg.WALPath})
+	walPath := cfg.WALPath
+	if cfg.DataDir != "" {
+		walPath = "" // the shared durability engine persists streams
+	}
+	store, err := streams.Open(streams.Options{WALPath: walPath})
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +132,64 @@ func New(cfg Config) (*System, error) {
 		})
 	}
 
+	// Durability (§I "configured to scale and restart on failure"): one
+	// shared WAL + snapshot engine makes every stateful layer recoverable,
+	// so a restarted blueprintd comes back warm — tables, registry
+	// versions, memoized step results and stream history included. The
+	// registries restore first (ascending subsystem id) so the memo
+	// restore can version-check its entries against them; relational DML
+	// replay re-fires OnWrite -> Touch, dropping restored memo entries
+	// whose source data changed after they were logged.
+	var eng *durability.Engine
+	if cfg.DataDir != "" {
+		eng, err = durability.Open(cfg.DataDir, durability.Options{})
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+		regErr := eng.Register(subRegistries, "registries", registry.Durable{Agents: agentReg, Data: dataReg})
+		if regErr == nil {
+			// Logical SQL replay is not idempotent: the relational engine
+			// logs through Engine.Log and snapshots under the barrier.
+			regErr = eng.Register(subRelational, "relational", ent.DB, durability.WithSnapshotBarrier())
+		}
+		if regErr == nil && memoStore != nil {
+			regErr = eng.Register(subMemo, "memo", memoStore)
+		}
+		if regErr == nil {
+			regErr = eng.Register(subStreams, "streams", store)
+		}
+		if regErr != nil {
+			store.Close()
+			return nil, regErr
+		}
+		ent.DB.SetDurable(eng.Logger(subRelational))
+		if memoStore != nil {
+			memoStore.SetDurable(memo.DurableConfig{
+				Append: eng.Logger(subMemo).Append,
+				AgentVersion: func(name string) int {
+					if spec, err := agentReg.Get(name); err == nil {
+						return spec.Version
+					}
+					return 0
+				},
+				Validate: func(name string, version int) bool {
+					spec, err := agentReg.Get(name)
+					return err == nil && spec.Cacheable && spec.Version == version
+				},
+			})
+		}
+		store.SetDurable(eng.Logger(subStreams).Append)
+		if err := eng.Recover(); err != nil {
+			store.Close()
+			_ = eng.Close()
+			return nil, err
+		}
+		if cfg.SnapshotEvery > 0 {
+			eng.StartAutoSnapshot(cfg.SnapshotEvery)
+		}
+	}
+
 	coord := coordinator.New(store, agentReg, tp, model, coordinator.Options{
 		RetryOnError: true,
 		MaxParallel:  cfg.MaxParallel,
@@ -125,6 +201,7 @@ func New(cfg Config) (*System, error) {
 		AgentRegistry: agentReg,
 		DataRegistry:  dataReg,
 		Memo:          memoStore,
+		Durability:    eng,
 		Factory:       factory,
 		Sessions:      session.NewManager(store, factory),
 		TaskPlanner:   tp,
@@ -145,14 +222,57 @@ func (s *System) MemoStats() memo.Stats {
 	return s.Memo.Stats()
 }
 
-// Close shuts the system down: all sessions, then the stream store.
+// Close shuts the system down gracefully: all sessions, then — when
+// durability is on — a final snapshot and a clean log close, so the next
+// open restores instead of replaying. Then the stream store.
 func (s *System) Close() {
 	for _, id := range s.Sessions.List() {
 		if sess, err := s.Sessions.Get(id); err == nil {
 			sess.Close()
 		}
 	}
+	if s.Durability != nil {
+		_ = s.Durability.Snapshot()
+		_ = s.Durability.Close()
+	}
 	_ = s.Store.Close()
+}
+
+// SimulateCrash stops the system without the final snapshot, as if the
+// process died: the WAL is flushed (so tests and experiments are
+// deterministic) but no snapshot boundary is written, forcing the next
+// open onto the full replay path. Test/benchmark seam for the recovery
+// scenarios (benchharness -fig A8, the crash-recovery property tests).
+func (s *System) SimulateCrash() {
+	for _, id := range s.Sessions.List() {
+		if sess, err := s.Sessions.Get(id); err == nil {
+			sess.Close()
+		}
+	}
+	if s.Durability != nil {
+		_ = s.Durability.Close()
+	}
+	_ = s.Store.Close()
+}
+
+// Snapshot takes a durability snapshot now: all subsystems serialize, the
+// superseded log segments are deleted, and the next open restores from it.
+// blueprintd exposes it as POST /snapshot; bpctl as the snapshot command.
+func (s *System) Snapshot() error {
+	if s.Durability == nil {
+		return errors.New("blueprint: durability disabled (set Config.DataDir)")
+	}
+	return s.Durability.Snapshot()
+}
+
+// DurabilityStats reports the engine's counters (zero when durability is
+// disabled): appends, group-commit fsyncs, snapshots, resident log bytes
+// and the recovery profile of this process's start.
+func (s *System) DurabilityStats() durability.Stats {
+	if s.Durability == nil {
+		return durability.Stats{}
+	}
+	return s.Durability.Stats()
 }
 
 // StandardAgents is the agent set spawned into every new session.
