@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-smoke ci
+.PHONY: all build test race vet fmt-check bench bench-smoke fuzz ci
 
 all: build
 
@@ -27,9 +27,17 @@ fmt-check:
 	fi
 
 # Relational-engine benchmarks, including the statement-cache comparison
-# (BenchmarkPointQueryUncached vs Cached/Prepared).
+# (BenchmarkPointQueryUncached vs Cached/Prepared), the zero-allocation
+# tokenizer/fingerprint sweeps, and the shape-vs-exact keyed cache pair.
 bench:
 	$(GO) test ./internal/relational/ -run XXX -bench . -benchmem
+	$(GO) run ./cmd/benchharness -fig A9
+
+# Fuzz the tokenizer against the old slice-building lexer for a short burst
+# (seeds under internal/relational/testdata/fuzz are always replayed by
+# plain `go test`).
+fuzz:
+	$(GO) test ./internal/relational/ -run FuzzTokenize -fuzz FuzzTokenize -fuzztime 30s
 
 # Smoke run for the concurrency/reuse/durability layers: regenerates the A5
 # table (concurrent DAG scheduler fan-out speedup + multi-session
@@ -42,12 +50,15 @@ bench:
 # that does not coalesce (dedup loss), a crash restart that loses rows, or a
 # restarted process whose repeated ask misses memo (warm-memo loss) makes
 # the run fail; A7's >= 2x speedup/allocs floors and A8's >= 5x
-# snapshot-vs-replay floor are enforced in full mode and reported here. CI
-# runs this on every push so regressions surface immediately.
+# snapshot-vs-replay floor are enforced in full mode and reported here, as
+# are A9's shape-cache floors (>= 90% hit rate, >= 3x over exact keying on
+# literal-inlined statements). CI runs this on every push so regressions
+# surface immediately.
 bench-smoke:
 	$(GO) run ./cmd/benchharness -fig A5 -short
 	$(GO) run ./cmd/benchharness -fig A6 -short
 	$(GO) run ./cmd/benchharness -fig A7 -short
 	$(GO) run ./cmd/benchharness -fig A8 -short
+	$(GO) run ./cmd/benchharness -fig A9 -short
 
 ci: fmt-check vet build race bench-smoke

@@ -3,12 +3,13 @@
 // Usage:
 //
 //	benchharness              # run all experiments
-//	benchharness -fig F7      # run one (F1..F10, A1..A8)
+//	benchharness -fig F7      # run one (F1..F10, A1..A9)
 //	benchharness -fig A4      # plan-cache ablation (statement-cache hit/miss counters)
 //	benchharness -fig A5      # concurrent DAG scheduler: fan-out speedup + multi-session throughput
 //	benchharness -fig A6      # step-result memoization: repeated-ask speedup + cross-session dedup
 //	benchharness -fig A7      # plan compiler: compiled-vs-interpreted ablation (scan/join/group-by)
 //	benchharness -fig A8      # durability: crash replay vs snapshot restore + warm memo across restart
+//	benchharness -fig A9      # front end: shape-keyed plan cache vs exact keying on literal-inlined SQL
 //	benchharness -seed 7      # change the deterministic seed
 //	benchharness -short       # reduced iterations/latencies (smoke mode, used by make bench-smoke)
 package main
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment id to run (F1..F10, A1..A8, or 'all')")
+	fig := flag.String("fig", "all", "experiment id to run (F1..F10, A1..A9, or 'all')")
 	seed := flag.Int64("seed", 42, "deterministic seed for workloads and the simulated LLM")
 	short := flag.Bool("short", false, "smoke mode: reduced iterations and simulated latencies")
 	flag.Parse()
@@ -48,6 +49,7 @@ func main() {
 		"A6":  experiments.AblationMemo,
 		"A7":  experiments.AblationCompile,
 		"A8":  experiments.AblationDurability,
+		"A9":  experiments.FrontendShapeCache,
 	}
 
 	if strings.EqualFold(*fig, "all") {
@@ -62,7 +64,7 @@ func main() {
 	}
 	run, ok := runners[strings.ToUpper(*fig)]
 	if !ok {
-		log.Fatalf("unknown experiment %q (want F1..F10, A1..A7, all)", *fig)
+		log.Fatalf("unknown experiment %q (want F1..F10, A1..A9, all)", *fig)
 	}
 	t, err := run(*seed)
 	if err != nil {

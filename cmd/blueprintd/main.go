@@ -234,9 +234,12 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		"memo_hits": ms.Hits, "memo_hit_rate": ms.HitRate(),
 		"memo_restored":   ms.Restored,
 		"stmt_cache_hits": cs.Hits, "stmt_cache_hit_rate": cs.HitRate(),
-		"plan_compiles":        cs.Compiles,
-		"durability_enabled":   s.sys.Durability != nil,
-		"durability_snapshots": ds.Snapshots, "durability_log_bytes": ds.LogBytes,
+		"stmt_cache_shape_hits":      cs.ShapeHits,
+		"stmt_cache_exact_fallbacks": cs.ExactFallbacks,
+		"stmt_cache_uncacheable":     cs.Uncacheable,
+		"plan_compiles":              cs.Compiles,
+		"durability_enabled":         s.sys.Durability != nil,
+		"durability_snapshots":       ds.Snapshots, "durability_log_bytes": ds.LogBytes,
 		"durability_segments": ds.Segments, "durability_appends": ds.Appends,
 		"durability_fsyncs":             ds.Fsyncs,
 		"durability_last_recovery":      ds.Recovery.Duration.String(),

@@ -14,6 +14,7 @@
 //	bpctl ask <utterance>             # full pipeline, print answer + flow
 //	bpctl memo <utterance>            # run the plan twice: cold vs memo-warm + stats
 //	bpctl sql <statement>             # raw SQL against the enterprise DB
+//	bpctl stats                       # statement-cache counters (shape keying)
 //	bpctl -data-dir D snapshot        # take a durability snapshot + print stats
 //
 // With -data-dir every command runs against the durable state in that
@@ -40,7 +41,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("usage: bpctl [-data-dir D] <agents|data|search-agents|discover|nl2q|plan|ask|memo|sql|snapshot> [args]")
+		log.Fatal("usage: bpctl [-data-dir D] <agents|data|search-agents|discover|nl2q|plan|ask|memo|sql|stats|snapshot> [args]")
 	}
 
 	sys, err := blueprint.New(blueprint.Config{Seed: *seed, ModelAccuracy: 1.0, DataDir: *dataDir})
@@ -146,7 +147,15 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(res)
-		fmt.Printf("plan: %s\n", res.Plan)
+		if res.Plan != "" {
+			fmt.Printf("plan: %s\n", res.Plan)
+		}
+	case "stats":
+		cs := sys.Enterprise.DB.CacheStats()
+		fmt.Printf("stmt cache: hits=%d (shape=%d exact=%d) misses=%d hit_rate=%.0f%%\n",
+			cs.Hits, cs.ShapeHits, cs.ExactFallbacks, cs.Misses, cs.HitRate()*100)
+		fmt.Printf("            compiles=%d invalidations=%d uncacheable=%d size=%d\n",
+			cs.Compiles, cs.Invalidations, cs.Uncacheable, cs.Size)
 	case "snapshot":
 		if err := sys.Snapshot(); err != nil {
 			log.Fatal(err)

@@ -31,7 +31,7 @@ type Row struct {
 
 // Table is one experiment's result.
 type Table struct {
-	ID    string // "F1".."F10", "A1".."A8"
+	ID    string // "F1".."F10", "A1".."A9"
 	Title string
 	Rows  []Row
 	Notes []string
@@ -86,6 +86,7 @@ func All(seed int64) ([]*Table, error) {
 		{"A6", AblationMemo},
 		{"A7", AblationCompile},
 		{"A8", AblationDurability},
+		{"A9", FrontendShapeCache},
 	}
 	out := make([]*Table, 0, len(exps))
 	for _, e := range exps {

@@ -18,8 +18,8 @@ func TestAllExperimentsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 18 {
-		t.Fatalf("tables = %d, want 18", len(tables))
+	if len(tables) != 19 {
+		t.Fatalf("tables = %d, want 19", len(tables))
 	}
 	byID := map[string]*Table{}
 	for _, tb := range tables {

@@ -90,23 +90,34 @@ func AblationCompile(seed int64) (*Table, error) {
 	}
 
 	// measure runs one workload and reports wall clock plus heap
-	// allocations per query (runtime.MemStats deltas).
+	// allocations per query (runtime.MemStats deltas). Best-of-two wall
+	// clocks: the experiment shares its process with the rest of the
+	// suite, and one GC or scheduler stall inside a single window can
+	// erase a 2-3x ratio.
 	measure := func(w wl) (time.Duration, uint64, error) {
 		if _, err := db.Query(w.sql, w.args(0)...); err != nil {
 			return 0, 0, err // warm parse/compile outside the window
 		}
-		runtime.GC()
-		var m0, m1 runtime.MemStats
-		runtime.ReadMemStats(&m0)
-		start := time.Now()
-		for i := 0; i < w.iters; i++ {
-			if _, err := db.Query(w.sql, w.args(i)...); err != nil {
-				return 0, 0, err
+		best := time.Duration(-1)
+		var allocs uint64
+		for rep := 0; rep < 2; rep++ {
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			for i := 0; i < w.iters; i++ {
+				if _, err := db.Query(w.sql, w.args(i)...); err != nil {
+					return 0, 0, err
+				}
+			}
+			wall := time.Since(start)
+			runtime.ReadMemStats(&m1)
+			if best < 0 || wall < best {
+				best = wall
+				allocs = (m1.Mallocs - m0.Mallocs) / uint64(w.iters)
 			}
 		}
-		wall := time.Since(start)
-		runtime.ReadMemStats(&m1)
-		return wall, (m1.Mallocs - m0.Mallocs) / uint64(w.iters), nil
+		return best, allocs, nil
 	}
 
 	t := &Table{ID: "A7", Title: "Plan compiler: compiled vs interpreted execution on the data-engine hot paths"}

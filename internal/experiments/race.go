@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this build runs under the race detector, whose
+// instrumentation skews wall-clock ratios; perf floors are not enforced.
+const raceEnabled = true

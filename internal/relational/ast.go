@@ -1,6 +1,9 @@
 package relational
 
-import "strings"
+import (
+	"strconv"
+	"strings"
+)
 
 // Statement is any parsed SQL statement.
 type Statement interface{ stmt() }
@@ -113,8 +116,16 @@ type Expr interface{ expr() }
 // Literal is a constant value.
 type Literal struct{ Val Value }
 
-// Param is a positional ? parameter (1-based ordinal assigned by parser).
-type Param struct{ Ordinal int }
+// Param is a parameter slot (1-based ordinal assigned by parser). Ordinal
+// indexes the unified per-execution value vector, which interleaves explicit
+// '?' placeholders with literals auto-extracted by the fingerprint pass. For
+// explicit placeholders Src is the user-visible 1-based '?' ordinal (used in
+// error messages); for auto-extracted literals Auto is true and Src is 0.
+type Param struct {
+	Ordinal int
+	Src     int
+	Auto    bool
+}
 
 // ColumnRef references table.column or column.
 type ColumnRef struct {
@@ -181,56 +192,149 @@ func (*IsNullExpr) expr()  {}
 func (*AggExpr) expr()     {}
 
 // exprString renders an expression for EXPLAIN output and error messages.
-func exprString(e Expr) string {
+func exprString(e Expr) string { return exprDisplay(e, nil) }
+
+// exprDisplay renders an expression with bound parameter values: an
+// auto-extracted literal slot shows the value it was extracted from, so a
+// shape-cached statement's EXPLAIN/plan strings match the exact-keyed form
+// byte for byte. Explicit '?' placeholders always render as "?".
+func exprDisplay(e Expr, params []Value) string {
+	var b strings.Builder
+	writeExprDisplay(&b, e, params)
+	return b.String()
+}
+
+// writeValueDisplay appends a bound value's display form without the
+// intermediate string Value.String would allocate for numbers.
+func writeValueDisplay(b *strings.Builder, v Value) {
+	switch v.T {
+	case TInt:
+		var buf [24]byte
+		b.Write(strconv.AppendInt(buf[:0], v.I, 10))
+	case TFloat:
+		var buf [32]byte
+		b.Write(strconv.AppendFloat(buf[:0], v.F, 'g', -1, 64))
+	default:
+		b.WriteString(v.String())
+	}
+}
+
+// writeExprDisplay appends the display form in one pass over the tree so the
+// per-execution Filter(...) plan line costs a single buffer instead of a
+// string per node — this runs on every query, shape-cached or not.
+func writeExprDisplay(b *strings.Builder, e Expr, params []Value) {
 	switch x := e.(type) {
 	case nil:
-		return ""
 	case *Literal:
 		if x.Val.T == TString {
-			return "'" + x.Val.S + "'"
+			b.WriteByte('\'')
+			b.WriteString(x.Val.S)
+			b.WriteByte('\'')
+			return
 		}
-		return x.Val.String()
+		writeValueDisplay(b, x.Val)
 	case *Param:
-		return "?"
+		if x.Auto && x.Ordinal-1 >= 0 && x.Ordinal-1 < len(params) {
+			v := params[x.Ordinal-1]
+			if v.T == TString {
+				b.WriteByte('\'')
+				b.WriteString(v.S)
+				b.WriteByte('\'')
+				return
+			}
+			writeValueDisplay(b, v)
+			return
+		}
+		b.WriteByte('?')
 	case *ColumnRef:
-		return x.String()
+		b.WriteString(x.String())
 	case *BinaryExpr:
-		return "(" + exprString(x.L) + " " + x.Op + " " + exprString(x.R) + ")"
+		b.WriteByte('(')
+		writeExprDisplay(b, x.L, params)
+		b.WriteByte(' ')
+		b.WriteString(x.Op)
+		b.WriteByte(' ')
+		writeExprDisplay(b, x.R, params)
+		b.WriteByte(')')
 	case *UnaryExpr:
-		return "(NOT " + exprString(x.E) + ")"
+		b.WriteString("(NOT ")
+		writeExprDisplay(b, x.E, params)
+		b.WriteByte(')')
 	case *InExpr:
-		parts := make([]string, len(x.List))
+		writeExprDisplay(b, x.E, params)
+		if x.Not {
+			b.WriteString(" NOT IN (")
+		} else {
+			b.WriteString(" IN (")
+		}
 		for i, it := range x.List {
-			parts[i] = exprString(it)
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExprDisplay(b, it, params)
 		}
-		op := " IN ("
-		if x.Not {
-			op = " NOT IN ("
-		}
-		return exprString(x.E) + op + strings.Join(parts, ", ") + ")"
+		b.WriteByte(')')
 	case *BetweenExpr:
-		op := " BETWEEN "
+		writeExprDisplay(b, x.E, params)
 		if x.Not {
-			op = " NOT BETWEEN "
+			b.WriteString(" NOT BETWEEN ")
+		} else {
+			b.WriteString(" BETWEEN ")
 		}
-		return exprString(x.E) + op + exprString(x.Lo) + " AND " + exprString(x.Hi)
+		writeExprDisplay(b, x.Lo, params)
+		b.WriteString(" AND ")
+		writeExprDisplay(b, x.Hi, params)
 	case *IsNullExpr:
+		writeExprDisplay(b, x.E, params)
 		if x.Not {
-			return exprString(x.E) + " IS NOT NULL"
+			b.WriteString(" IS NOT NULL")
+		} else {
+			b.WriteString(" IS NULL")
 		}
-		return exprString(x.E) + " IS NULL"
 	case *AggExpr:
+		b.WriteString(x.Fn)
 		if x.Star {
-			return x.Fn + "(*)"
+			b.WriteString("(*)")
+			return
 		}
-		d := ""
+		b.WriteByte('(')
 		if x.Distinct {
-			d = "DISTINCT "
+			b.WriteString("DISTINCT ")
 		}
-		return x.Fn + "(" + d + exprString(x.Arg) + ")"
+		writeExprDisplay(b, x.Arg, params)
+		b.WriteByte(')')
 	default:
-		return "?expr?"
+		b.WriteString("?expr?")
 	}
+}
+
+// hasAutoParam reports whether the expression tree contains an
+// auto-extracted literal parameter (its display depends on bound values).
+func hasAutoParam(e Expr) bool {
+	switch x := e.(type) {
+	case *Param:
+		return x.Auto
+	case *BinaryExpr:
+		return hasAutoParam(x.L) || hasAutoParam(x.R)
+	case *UnaryExpr:
+		return hasAutoParam(x.E)
+	case *InExpr:
+		if hasAutoParam(x.E) {
+			return true
+		}
+		for _, it := range x.List {
+			if hasAutoParam(it) {
+				return true
+			}
+		}
+	case *BetweenExpr:
+		return hasAutoParam(x.E) || hasAutoParam(x.Lo) || hasAutoParam(x.Hi)
+	case *IsNullExpr:
+		return hasAutoParam(x.E)
+	case *AggExpr:
+		return !x.Star && hasAutoParam(x.Arg)
+	}
+	return false
 }
 
 // hasAggregate reports whether the expression tree contains an aggregate.

@@ -280,3 +280,78 @@ func BenchmarkTopKOrderByLimitInterpreted(b *testing.B) {
 func BenchmarkTopKOrderByLimitCompiled(b *testing.B) {
 	benchSelect(b, `SELECT id, title FROM jobs ORDER BY salary DESC LIMIT 10`, true)
 }
+
+// ---- tokenizer / fingerprint / shape-cache benchmarks ----
+
+const benchTokenizeStmt = `SELECT id, title, salary FROM jobs WHERE city = 'Oakland' AND salary >= 95000 OR id IN (1, 2, 3) ORDER BY salary DESC LIMIT 10`
+
+// BenchmarkTokenize sweeps one statement through the streaming tokenizer.
+// The acceptance bar is 0 allocs/op: token texts are substrings of the
+// source or interned keyword spellings.
+func BenchmarkTokenize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tz := newTokenizer(benchTokenizeStmt)
+		for {
+			tok, err := tz.next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tok.kind == tokEOF {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkFingerprint produces the shape key plus extracted literals for one
+// statement. With pooled scratch the steady state is 0 allocs/op (amortized
+// O(1) per statement).
+func BenchmarkFingerprint(b *testing.B) {
+	fp := fpScratch.Get().(*fingerprint)
+	defer fpScratch.Put(fp)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !fingerprintStmt(fp, benchTokenizeStmt) {
+			b.Fatal("fingerprint bailed")
+		}
+	}
+}
+
+// BenchmarkPointQueryShapeKeyed sends literal-inlined texts (a different
+// literal every call, as NLQ-generated SQL does) through the shape-keyed
+// cache: one parse serves every variant.
+func BenchmarkPointQueryShapeKeyed(b *testing.B) {
+	db := benchIDIndexedDB(b, 5000)
+	queries := make([]string, 512)
+	for i := range queries {
+		queries[i] = fmt.Sprintf(`SELECT title FROM jobs WHERE id = %d LIMIT 1`, i%5000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(db.CacheStats().HitRate()*100, "hit%")
+}
+
+// BenchmarkPointQueryExactKeyed is the same literal-inlined workload with
+// shape keying disabled: every distinct text is a cache miss (the pre-shape
+// behavior).
+func BenchmarkPointQueryExactKeyed(b *testing.B) {
+	db := benchIDIndexedDB(b, 5000)
+	db.SetShapeCacheEnabled(false)
+	queries := make([]string, 512)
+	for i := range queries {
+		queries[i] = fmt.Sprintf(`SELECT title FROM jobs WHERE id = %d LIMIT 1`, i%5000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

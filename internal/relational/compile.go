@@ -251,9 +251,10 @@ func compileExpr(cols []envCol, x Expr) (compiledExpr, error) {
 		return func(Row, []Value) (Value, error) { return val, nil }, nil
 	case *Param:
 		ord := v.Ordinal
+		disp := paramSrc(v)
 		return func(_ Row, params []Value) (Value, error) {
-			if ord-1 >= len(params) {
-				return Null, fmt.Errorf("relational: missing parameter %d", ord)
+			if ord-1 >= len(params) || params[ord-1].T == missingParamType {
+				return Null, fmt.Errorf("relational: missing parameter %d", disp)
 			}
 			return params[ord-1], nil
 		}, nil
@@ -366,6 +367,30 @@ func compileExpr(cols []envCol, x Expr) (compiledExpr, error) {
 	}
 }
 
+// compileConjuncts compiles the conjunct list of a left-deep AND chain in
+// source order.
+func compileConjuncts(cols []envCol, v *BinaryExpr) ([]compiledExpr, error) {
+	var out []compiledExpr
+	if lb, ok := v.L.(*BinaryExpr); ok && lb.Op == "AND" {
+		flat, err := compileConjuncts(cols, lb)
+		if err != nil {
+			return nil, err
+		}
+		out = flat
+	} else {
+		l, err := compileExpr(cols, v.L)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+	}
+	r, err := compileExpr(cols, v.R)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, r), nil
+}
+
 func compileBinary(cols []envCol, v *BinaryExpr) (compiledExpr, error) {
 	l, err := compileExpr(cols, v.L)
 	if err != nil {
@@ -377,19 +402,27 @@ func compileBinary(cols []envCol, v *BinaryExpr) (compiledExpr, error) {
 	}
 	switch v.Op {
 	case "AND":
+		// Conjunct chains (the normal WHERE form) flatten into one closure
+		// that loops a list, instead of one nested frame per AND node.
+		conjuncts := []compiledExpr{l, r}
+		if lb, ok := v.L.(*BinaryExpr); ok && lb.Op == "AND" {
+			flat, err := compileConjuncts(cols, lb)
+			if err != nil {
+				return nil, err
+			}
+			conjuncts = append(flat, r)
+		}
 		return func(row Row, params []Value) (Value, error) {
-			lv, err := l(row, params)
-			if err != nil {
-				return Null, err
+			for _, c := range conjuncts {
+				v, err := c(row, params)
+				if err != nil {
+					return Null, err
+				}
+				if !truthy(v) {
+					return NewBool(false), nil
+				}
 			}
-			if !truthy(lv) {
-				return NewBool(false), nil
-			}
-			rv, err := r(row, params)
-			if err != nil {
-				return Null, err
-			}
-			return NewBool(truthy(rv)), nil
+			return NewBool(true), nil
 		}, nil
 	case "OR":
 		return func(row Row, params []Value) (Value, error) {
@@ -405,6 +438,63 @@ func compileBinary(cols []envCol, v *BinaryExpr) (compiledExpr, error) {
 				return Null, err
 			}
 			return NewBool(truthy(rv)), nil
+		}, nil
+	}
+	// Comparisons dispatch on the operator once at compile time instead of
+	// re-switching on the op string for every row.
+	switch v.Op {
+	case "=":
+		return func(row Row, params []Value) (Value, error) {
+			lv, err := l(row, params)
+			if err != nil {
+				return Null, err
+			}
+			rv, err := r(row, params)
+			if err != nil {
+				return Null, err
+			}
+			return NewBool(Equal(lv, rv)), nil
+		}, nil
+	case "!=":
+		return func(row Row, params []Value) (Value, error) {
+			lv, err := l(row, params)
+			if err != nil {
+				return Null, err
+			}
+			rv, err := r(row, params)
+			if err != nil {
+				return Null, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return NewBool(false), nil
+			}
+			return NewBool(Compare(lv, rv) != 0), nil
+		}, nil
+	case "<", "<=", ">", ">=":
+		var test func(c int) bool
+		switch v.Op {
+		case "<":
+			test = func(c int) bool { return c < 0 }
+		case "<=":
+			test = func(c int) bool { return c <= 0 }
+		case ">":
+			test = func(c int) bool { return c > 0 }
+		default:
+			test = func(c int) bool { return c >= 0 }
+		}
+		return func(row Row, params []Value) (Value, error) {
+			lv, err := l(row, params)
+			if err != nil {
+				return Null, err
+			}
+			rv, err := r(row, params)
+			if err != nil {
+				return Null, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return NewBool(false), nil
+			}
+			return NewBool(test(Compare(lv, rv))), nil
 		}, nil
 	}
 	op := v.Op
@@ -687,6 +777,17 @@ type selectProgram struct {
 	joins     []joinProgram
 	where     compiledExpr
 	whereDesc string
+	// whereAuto marks WHERE trees containing auto-extracted literal params:
+	// their Filter(...) plan line depends on the bound values (rendered per
+	// execution by filterDesc so shape-cached plans print exactly like
+	// exact-keyed ones).
+	whereAuto bool
+	// access holds the precompiled sargable-predicate candidates extracted
+	// from the WHERE conjuncts. Index existence and kind are resolved per
+	// execution (planAccessCompiled), so a CREATE INDEX is picked up without
+	// recompiling and a shape-shared plan chooses its access path from the
+	// literals bound to this execution.
+	access []accessCand
 
 	columns  []string
 	outWidth int
@@ -801,8 +902,10 @@ func (db *DB) buildSelectProgram(sel *SelectStmt) (*selectProgram, error) {
 			return nil, err
 		}
 		p.where = f
+		p.whereAuto = hasAutoParam(sel.Where)
 		p.whereDesc = "Filter(" + exprString(sel.Where) + ")"
 	}
+	p.access = buildAccessCands(strings.ToLower(sel.From.Name()), sel.Where)
 
 	p.aggregated = len(sel.GroupBy) > 0
 	for _, it := range sel.Items {
@@ -893,6 +996,344 @@ func (db *DB) buildSelectProgram(sel *SelectStmt) (*selectProgram, error) {
 	return p, nil
 }
 
+// filterDesc returns the Filter(...) plan line for one execution: static
+// when the WHERE tree has no auto-extracted literals, else rendered against
+// the bound values.
+func (p *selectProgram) filterDesc(params []Value) string {
+	if !p.whereAuto {
+		return p.whereDesc
+	}
+	var b strings.Builder
+	// The static form approximates the rendered length ('?' slots become
+	// bound values); one Grow keeps the builder from doubling through the
+	// tree walk.
+	b.Grow(len(p.whereDesc) + 48)
+	b.WriteString("Filter(")
+	writeExprDisplay(&b, p.sel.Where, params)
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ---- compiled sargable-predicate extraction ----
+
+// valueGetter resolves one comparison operand at execution time: a captured
+// literal, or a parameter slot (explicit or auto-extracted). ok is false
+// when the slot is unbound.
+type valueGetter func(params []Value) (Value, bool)
+
+type accessCandKind int
+
+const (
+	candBinary accessCandKind = iota
+	candIn
+	candBetween
+)
+
+// accessCand is one WHERE conjunct precompiled for access-path planning.
+// For binary comparisons both orientations are recorded when syntactically
+// eligible ("col op const" forward, "const op col" reversed with the
+// operator pre-flipped); which one applies is decided per execution, after
+// the index and the bound value are known — exactly the precedence of the
+// interpreted planAccess.
+type accessCand struct {
+	kind accessCandKind
+
+	fwdCol string // lowercased base-table column, "" if ineligible
+	fwdOp  string
+	fwdVal valueGetter
+	revCol string
+	revOp  string
+	revVal valueGetter
+
+	col   string        // IN / BETWEEN column
+	items []valueGetter // IN list operands
+	n     int           // len of the original IN list (for the plan line)
+	lo    valueGetter   // BETWEEN bounds
+	hi    valueGetter
+}
+
+// constGetter compiles a constant-valued operand (literal or parameter);
+// nil if the expression is not a planning-time constant.
+func constGetter(e Expr) valueGetter {
+	switch x := e.(type) {
+	case *Literal:
+		v := x.Val
+		return func([]Value) (Value, bool) { return v, true }
+	case *Param:
+		ord := x.Ordinal
+		return func(params []Value) (Value, bool) {
+			if ord-1 < len(params) && params[ord-1].T != missingParamType {
+				return params[ord-1], true
+			}
+			return Null, false
+		}
+	}
+	return nil
+}
+
+// baseColumn returns the lowercased column name when e references a column
+// of the base table (unqualified or qualified by its effective name), else
+// "".
+func baseColumn(e Expr, baseNameLower string) string {
+	cr, ok := e.(*ColumnRef)
+	if !ok {
+		return ""
+	}
+	if cr.Table != "" && strings.ToLower(cr.Table) != baseNameLower {
+		return ""
+	}
+	return strings.ToLower(cr.Column)
+}
+
+// buildAccessCands extracts the sargable candidates from the WHERE
+// conjuncts at compile time. Conjunct order is preserved: the per-execution
+// planner considers candidates in the same order as the interpreted one, so
+// its strict tie-break picks the same winner.
+func buildAccessCands(baseNameLower string, where Expr) []accessCand {
+	if where == nil {
+		return nil
+	}
+	var out []accessCand
+	for _, cj := range splitAnd(where) {
+		switch x := cj.(type) {
+		case *BinaryExpr:
+			if _, sarg := flippedOp[x.Op]; !sarg {
+				continue
+			}
+			c := accessCand{kind: candBinary}
+			if col := baseColumn(x.L, baseNameLower); col != "" {
+				if g := constGetter(x.R); g != nil {
+					c.fwdCol, c.fwdOp, c.fwdVal = col, x.Op, g
+				}
+			}
+			if col := baseColumn(x.R, baseNameLower); col != "" {
+				if g := constGetter(x.L); g != nil {
+					c.revCol, c.revOp, c.revVal = col, flippedOp[x.Op], g
+				}
+			}
+			if c.fwdCol != "" || c.revCol != "" {
+				out = append(out, c)
+			}
+		case *InExpr:
+			if x.Not {
+				continue
+			}
+			col := baseColumn(x.E, baseNameLower)
+			if col == "" {
+				continue
+			}
+			c := accessCand{kind: candIn, col: col, n: len(x.List)}
+			ok := true
+			for _, item := range x.List {
+				g := constGetter(item)
+				if g == nil {
+					ok = false
+					break
+				}
+				c.items = append(c.items, g)
+			}
+			if ok {
+				out = append(out, c)
+			}
+		case *BetweenExpr:
+			if x.Not {
+				continue
+			}
+			col := baseColumn(x.E, baseNameLower)
+			if col == "" {
+				continue
+			}
+			lo := constGetter(x.Lo)
+			hi := constGetter(x.Hi)
+			if lo == nil || hi == nil {
+				continue
+			}
+			out = append(out, accessCand{kind: candBetween, col: col, lo: lo, hi: hi})
+		}
+	}
+	return out
+}
+
+// planAccessCompiled is the compiled twin of (*table).planAccess: it walks
+// the precompiled candidates against the live index set and this
+// execution's bound values, producing the same access path (and plan line)
+// the interpreted planner would choose for the equivalent literal text.
+func (p *selectProgram) planAccessCompiled(t *table, params []Value) accessPath {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return planAccessLocked(t, p.access, params, p.sel.Explain)
+}
+
+// planAccessLocked picks the best access path for the precompiled candidates
+// under this execution's bound values. The caller holds t.mu (read or write).
+// The desc plan line is rendered only when wantDesc (EXPLAIN): ordinary
+// queries never pay for it.
+func planAccessLocked(t *table, access []accessCand, params []Value, wantDesc bool) accessPath {
+	if len(access) == 0 || len(t.indexes) == 0 {
+		if !wantDesc {
+			return accessPath{all: true}
+		}
+		return accessPath{desc: "SeqScan(" + t.name + ")", all: true}
+	}
+	// candidate carries what the winner's plan line needs; the desc string is
+	// rendered once, for the winning candidate only, at the end — losers must
+	// not cost a formatted string per execution.
+	type candidate struct {
+		rank int
+		ids  []int
+		ix   *indexDef
+		op   string // "=", "<", "<=", ">", ">=", "IN", "BETWEEN"
+		v    Value
+		hi   Value // BETWEEN upper bound
+		n    int   // IN list length
+	}
+	var (
+		best  candidate
+		found bool
+	)
+	consider := func(c candidate) {
+		if !found || c.rank < best.rank || (c.rank == best.rank && len(c.ids) < len(best.ids)) {
+			best = c
+			found = true
+		}
+	}
+	// resolve maps a binary candidate onto the live index set for this
+	// execution's bound values: the forward orientation wins when both sides
+	// are indexed, matching the interpreted planner.
+	resolve := func(ac *accessCand) (*indexDef, Value, string) {
+		if ac.fwdCol != "" {
+			if cand := t.indexes[ac.fwdCol]; cand != nil {
+				if fv, ok := ac.fwdVal(params); ok && !fv.IsNull() {
+					return cand, fv, ac.fwdOp
+				}
+			}
+		}
+		if ac.revCol != "" {
+			if cand := t.indexes[ac.revCol]; cand != nil {
+				if rv, ok := ac.revVal(params); ok && !rv.IsNull() {
+					return cand, rv, ac.revOp
+				}
+			}
+		}
+		return nil, Null, ""
+	}
+	// Candidates are considered strictly by rank: equality (0), then IN (1),
+	// then ranges (2). A lower rank always wins regardless of result size, so
+	// once any candidate matched at one tier the cheaper tiers below it are
+	// never materialized — a point lookup guarded by a broad sargable range
+	// (`id = 7 AND salary < 999999`) must not pay for collecting the range's
+	// ids just to discard them.
+	for i := range access {
+		ac := &access[i]
+		if ac.kind != candBinary {
+			continue
+		}
+		if ix, v, op := resolve(ac); ix != nil && op == "=" {
+			consider(candidate{rank: 0, ids: ix.lookupEqLocked(v), ix: ix, op: "=", v: v})
+		}
+	}
+	if !found {
+		for i := range access {
+			ac := &access[i]
+			if ac.kind != candIn {
+				continue
+			}
+			ix := t.indexes[ac.col]
+			if ix == nil {
+				continue
+			}
+			var ids []int
+			ok := true
+			for _, g := range ac.items {
+				v, o := g(params)
+				if !o {
+					ok = false
+					break
+				}
+				ids = append(ids, ix.lookupEqLocked(v)...)
+			}
+			if ok {
+				consider(candidate{rank: 1, ids: dedupInts(ids), ix: ix, op: "IN", n: ac.n})
+			}
+		}
+	}
+	if !found {
+		for i := range access {
+			ac := &access[i]
+			switch ac.kind {
+			case candBinary:
+				ix, v, op := resolve(ac)
+				if ix == nil || ix.kind != OrderedIndex {
+					continue
+				}
+				switch op {
+				case "<", "<=":
+					consider(candidate{rank: 2, ids: ix.order.lookupRange(Null, v, false, op == "<"), ix: ix, op: op, v: v})
+				case ">", ">=":
+					consider(candidate{rank: 2, ids: ix.order.lookupRange(v, Null, op == ">", false), ix: ix, op: op, v: v})
+				}
+			case candBetween:
+				ix := t.indexes[ac.col]
+				if ix == nil || ix.kind != OrderedIndex {
+					continue
+				}
+				lo, ok1 := ac.lo(params)
+				hi, ok2 := ac.hi(params)
+				if !ok1 || !ok2 {
+					continue
+				}
+				consider(candidate{rank: 2, ids: ix.order.lookupRange(lo, hi, false, false), ix: ix, op: "BETWEEN", v: lo, hi: hi})
+			}
+		}
+	}
+	if !found {
+		if !wantDesc {
+			return accessPath{all: true}
+		}
+		return accessPath{desc: "SeqScan(" + t.name + ")", all: true}
+	}
+	if !wantDesc {
+		return accessPath{ids: best.ids}
+	}
+	var b strings.Builder
+	b.Grow(64)
+	switch best.op {
+	case "=":
+		b.WriteString("IndexScan(")
+		b.WriteString(t.name)
+		b.WriteByte('.')
+		b.WriteString(best.ix.column)
+		b.WriteString(" = ")
+		writeValueDisplay(&b, best.v)
+		b.WriteString(", ")
+		b.WriteString(best.ix.kind.String())
+		b.WriteByte(')')
+	case "IN":
+		fmt.Fprintf(&b, "IndexScan(%s.%s IN [%d values], %s)", t.name, best.ix.column, best.n, best.ix.kind)
+	case "BETWEEN":
+		b.WriteString("IndexRange(")
+		b.WriteString(t.name)
+		b.WriteByte('.')
+		b.WriteString(best.ix.column)
+		b.WriteString(" BETWEEN ")
+		writeValueDisplay(&b, best.v)
+		b.WriteString(" AND ")
+		writeValueDisplay(&b, best.hi)
+		b.WriteByte(')')
+	default: // <, <=, >, >=
+		b.WriteString("IndexRange(")
+		b.WriteString(t.name)
+		b.WriteByte('.')
+		b.WriteString(best.ix.column)
+		b.WriteByte(' ')
+		b.WriteString(best.op)
+		b.WriteByte(' ')
+		writeValueDisplay(&b, best.v)
+		b.WriteByte(')')
+	}
+	return accessPath{desc: b.String(), ids: best.ids}
+}
+
 // ---- SELECT execution ----
 
 // rowArena block-allocates fixed-width output rows: one []Value chunk
@@ -978,8 +1419,11 @@ func (db *DB) runSelectProgram(p *selectProgram, params []Value) (*Result, error
 		return nil, errStalePlan
 	}
 
-	path := base.planAccess(sel.From.Name(), sel.Where, params)
-	planLines := append(make([]string, 0, 8), path.desc)
+	path := p.planAccessCompiled(base, params)
+	var planLines []string
+	if sel.Explain {
+		planLines = append(make([]string, 0, 8), path.desc)
+	}
 
 	var iter rowIter
 	if len(p.joins) == 0 {
@@ -1073,7 +1517,9 @@ func (db *DB) runSelectProgram(p *selectProgram, params []Value) (*Result, error
 		}
 		rows = joined
 		curWidth += jp.width
-		planLines = append(planLines, jp.desc)
+		if sel.Explain {
+			planLines = append(planLines, jp.desc)
+		}
 	}
 
 	iter = func(visit func(Row) error) error {
@@ -1100,8 +1546,8 @@ func (db *DB) runSelectTail(p *selectProgram, iter rowIter, params []Value, plan
 	if err != nil {
 		return nil, err
 	}
-	out.Plan = strings.Join(planLines, " -> ")
 	if p.sel.Explain {
+		out.Plan = strings.Join(planLines, " -> ")
 		return &Result{Columns: []string{"plan"}, Rows: []Row{{NewString(out.Plan)}}, Plan: out.Plan}, nil
 	}
 	return out, nil
@@ -1165,7 +1611,9 @@ func (db *DB) runAggregate(p *selectProgram, iter rowIter, params []Value, planL
 		}
 	}
 	if p.where != nil {
-		*planLines = append(*planLines, p.whereDesc)
+		if p.sel.Explain {
+			*planLines = append(*planLines, p.filterDesc(params))
+		}
 	}
 
 	out := &Result{Columns: p.columns}
@@ -1203,11 +1651,15 @@ func (db *DB) runAggregate(p *selectProgram, iter rowIter, params []Value, planL
 		}
 		out.Rows = append(out.Rows, or)
 	}
-	*planLines = append(*planLines, p.aggDesc)
+	if p.sel.Explain {
+		*planLines = append(*planLines, p.aggDesc)
+	}
 
 	if sel.Distinct {
 		out.Rows = distinctRows(out.Rows)
-		*planLines = append(*planLines, "Distinct")
+		if p.sel.Explain {
+			*planLines = append(*planLines, "Distinct")
+		}
 	}
 
 	if len(p.orderBy) > 0 {
@@ -1235,7 +1687,9 @@ func (db *DB) runAggregate(p *selectProgram, iter rowIter, params []Value, planL
 			sorted[i] = out.Rows[pos]
 		}
 		out.Rows = sorted
-		*planLines = append(*planLines, p.sortDesc)
+		if p.sel.Explain {
+			*planLines = append(*planLines, p.sortDesc)
+		}
 	}
 
 	if sel.Offset > 0 {
@@ -1247,7 +1701,9 @@ func (db *DB) runAggregate(p *selectProgram, iter rowIter, params []Value, planL
 	}
 	if sel.Limit >= 0 && sel.Limit < len(out.Rows) {
 		out.Rows = out.Rows[:sel.Limit]
-		*planLines = append(*planLines, fmt.Sprintf("Limit(%d)", sel.Limit))
+		if p.sel.Explain {
+			*planLines = append(*planLines, fmt.Sprintf("Limit(%d)", sel.Limit))
+		}
 	}
 	return out, nil
 }
@@ -1332,10 +1788,14 @@ func (db *DB) runProject(p *selectProgram, iter rowIter, params []Value, planLin
 			return nil, err
 		}
 		if p.where != nil {
-			*planLines = append(*planLines, p.whereDesc)
+			if p.sel.Explain {
+				*planLines = append(*planLines, p.filterDesc(params))
+			}
 		}
 		if sel.Distinct {
-			*planLines = append(*planLines, "Distinct")
+			if p.sel.Explain {
+				*planLines = append(*planLines, "Distinct")
+			}
 		}
 		if sel.Offset > 0 {
 			if sel.Offset >= len(out.Rows) {
@@ -1350,7 +1810,9 @@ func (db *DB) runProject(p *selectProgram, iter rowIter, params []Value, planLin
 				out.Rows = out.Rows[:sel.Limit]
 			}
 			if sawMore || trimmed {
-				*planLines = append(*planLines, fmt.Sprintf("Limit(%d)", sel.Limit))
+				if p.sel.Explain {
+					*planLines = append(*planLines, fmt.Sprintf("Limit(%d)", sel.Limit))
+				}
 			}
 		}
 		return out, nil
@@ -1421,12 +1883,18 @@ func (db *DB) runProject(p *selectProgram, iter rowIter, params []Value, planLin
 	sort.Slice(cands, func(i, j int) bool { return p.candLess(cands[i], cands[j]) })
 
 	if p.where != nil {
-		*planLines = append(*planLines, p.whereDesc)
+		if p.sel.Explain {
+			*planLines = append(*planLines, p.filterDesc(params))
+		}
 	}
 	if sel.Distinct {
-		*planLines = append(*planLines, "Distinct")
+		if p.sel.Explain {
+			*planLines = append(*planLines, "Distinct")
+		}
 	}
-	*planLines = append(*planLines, p.sortDesc)
+	if p.sel.Explain {
+		*planLines = append(*planLines, p.sortDesc)
+	}
 
 	start := sel.Offset
 	if start > len(cands) {
@@ -1444,7 +1912,9 @@ func (db *DB) runProject(p *selectProgram, iter rowIter, params []Value, planLin
 			out.Rows = out.Rows[:sel.Limit]
 		}
 		if sel.Limit < afterOffset {
-			*planLines = append(*planLines, fmt.Sprintf("Limit(%d)", sel.Limit))
+			if p.sel.Explain {
+				*planLines = append(*planLines, fmt.Sprintf("Limit(%d)", sel.Limit))
+			}
 		}
 	}
 	return out, nil
@@ -1456,6 +1926,7 @@ type updateProgram struct {
 	table   string
 	ver     uint64
 	where   compiledExpr
+	access  []accessCand
 	targets []updateTarget
 }
 
@@ -1467,9 +1938,10 @@ type updateTarget struct {
 }
 
 type deleteProgram struct {
-	table string
-	ver   uint64
-	where compiledExpr
+	table  string
+	ver    uint64
+	where  compiledExpr
+	access []accessCand
 }
 
 func (db *DB) buildUpdateProgram(up *UpdateStmt) (*updateProgram, error) {
@@ -1501,6 +1973,7 @@ func (db *DB) buildUpdateProgram(up *UpdateStmt) (*updateProgram, error) {
 			return nil, err
 		}
 		p.where = f
+		p.access = buildAccessCands(p.table, up.Where)
 	}
 	return p, nil
 }
@@ -1517,6 +1990,7 @@ func (db *DB) buildDeleteProgram(del *DeleteStmt) (*deleteProgram, error) {
 			return nil, err
 		}
 		p.where = f
+		p.access = buildAccessCands(p.table, del.Where)
 	}
 	return p, nil
 }
@@ -1531,6 +2005,20 @@ func tableLayout(t *table, name string) []envCol {
 	return cols
 }
 
+// dmlCandidates returns the row ids a compiled DML statement must visit,
+// using the same staged access planner as compiled SELECTs. The returned
+// slice is a private copy: the statement body mutates rows and index
+// postings, and the planner's id slices may alias live index storage. A nil
+// slice with all=true means no sargable candidate matched and the caller
+// scans the whole table. The caller holds t.mu for writing.
+func dmlCandidates(t *table, access []accessCand, params []Value) (ids []int, all bool) {
+	path := planAccessLocked(t, access, params, false)
+	if path.all {
+		return nil, true
+	}
+	return append([]int(nil), path.ids...), false
+}
+
 func (db *DB) runUpdateProgram(p *updateProgram, params []Value) (*Result, error) {
 	t, ver, err := db.tableVer(p.table)
 	if err != nil || ver != p.ver {
@@ -1539,28 +2027,28 @@ func (db *DB) runUpdateProgram(p *updateProgram, params []Value) (*Result, error
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	n := 0
-	for id := range t.rows {
+	apply := func(id int) error {
 		if !t.live[id] {
-			continue
+			return nil
 		}
 		row := t.rows[id]
 		if p.where != nil {
 			v, err := p.where(row, params)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !truthy(v) {
-				continue
+				return nil
 			}
 		}
 		for _, tg := range p.targets {
 			nv, err := tg.f(row, params)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			cv, err := coerce(nv, tg.typ)
 			if err != nil {
-				return nil, fmt.Errorf("column %q: %w", tg.name, err)
+				return fmt.Errorf("column %q: %w", tg.name, err)
 			}
 			old := row[tg.col]
 			for _, ix := range t.indexes {
@@ -1572,6 +2060,20 @@ func (db *DB) runUpdateProgram(p *updateProgram, params []Value) (*Result, error
 			row[tg.col] = cv
 		}
 		n++
+		return nil
+	}
+	if ids, all := dmlCandidates(t, p.access, params); !all {
+		for _, id := range ids {
+			if err := apply(id); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for id := range t.rows {
+			if err := apply(id); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return affected(n), nil
 }
@@ -1584,17 +2086,17 @@ func (db *DB) runDeleteProgram(p *deleteProgram, params []Value) (*Result, error
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	n := 0
-	for id := range t.rows {
+	apply := func(id int) error {
 		if !t.live[id] {
-			continue
+			return nil
 		}
 		if p.where != nil {
 			v, err := p.where(t.rows[id], params)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if !truthy(v) {
-				continue
+				return nil
 			}
 		}
 		t.live[id] = false
@@ -1603,6 +2105,20 @@ func (db *DB) runDeleteProgram(p *deleteProgram, params []Value) (*Result, error
 			ix.remove(id, t.rows[id][ix.col])
 		}
 		n++
+		return nil
+	}
+	if ids, all := dmlCandidates(t, p.access, params); !all {
+		for _, id := range ids {
+			if err := apply(id); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for id := range t.rows {
+			if err := apply(id); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return affected(n), nil
 }

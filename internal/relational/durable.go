@@ -152,11 +152,14 @@ func (db *DB) Apply(rec []byte) error {
 	if err != nil {
 		return err
 	}
-	st, slot, err := db.parseCached(sql)
+	st, slot, binder, err := db.parseCached(sql)
 	if err != nil {
 		return fmt.Errorf("relational: replay parse %q: %w", sql, err)
 	}
-	_, _ = db.runVals(st, slot, params)
+	// WAL records hold the original SQL text and the caller's explicit
+	// params; the binder re-merges fingerprint-extracted literals exactly as
+	// the live execution did (fingerprinting is deterministic over the text).
+	_, _ = db.runVals(st, slot, binder.bind(params))
 	return nil
 }
 

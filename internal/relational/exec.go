@@ -78,22 +78,22 @@ func (r *Result) Maps() []map[string]any {
 // lexer, the parser and the plan compiler entirely; use Prepare for an
 // explicit reusable handle.
 func (db *DB) Query(sql string, params ...any) (*Result, error) {
-	st, slot, err := db.parseCached(sql)
+	st, slot, binder, err := db.parseCached(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.runLogged(sql, st, slot, params...)
+	return db.runLogged(sql, st, slot, binder, params...)
 }
 
 // Exec runs a statement that does not produce rows (INSERT, UPDATE, DELETE,
 // CREATE, DROP) and reports the number of affected rows. Like Query, it
 // consults the statement cache.
 func (db *DB) Exec(sql string, params ...any) (int, error) {
-	st, slot, err := db.parseCached(sql)
+	st, slot, binder, err := db.parseCached(sql)
 	if err != nil {
 		return 0, err
 	}
-	res, err := db.runLogged(sql, st, slot, params...)
+	res, err := db.runLogged(sql, st, slot, binder, params...)
 	if err != nil {
 		return 0, err
 	}
@@ -116,21 +116,26 @@ func affectedCount(res *Result) int {
 // bypasses the durability WAL (the original SQL text is unavailable for a
 // logical record): durable deployments mutate through Query/Exec/Prepare.
 func (db *DB) Run(st Statement, params ...any) (*Result, error) {
-	return db.runLogged("", st, nil, params...)
+	return db.runLogged("", st, nil, nil, params...)
 }
 
 // runLogged executes a statement, appending a WAL record for successful
 // mutations when a durability sink is attached. The execution and the
 // append run under the sink's LogMutation so the pair cannot straddle a
-// snapshot boundary (logical SQL replay is not idempotent).
-func (db *DB) runLogged(sqlText string, st Statement, slot *planSlot, params ...any) (*Result, error) {
+// snapshot boundary (logical SQL replay is not idempotent). binder (nil for
+// exact-keyed statements) merges fingerprint-extracted literal values with
+// the caller's explicit params into the unified slot vector the shared plan
+// expects; the WAL record keeps the original SQL text and caller params —
+// replay re-fingerprints deterministically.
+func (db *DB) runLogged(sqlText string, st Statement, slot *planSlot, binder *paramBinder, params ...any) (*Result, error) {
 	vals := make([]Value, len(params))
 	for i, p := range params {
 		vals[i] = FromGo(p)
 	}
+	bound := binder.bind(vals)
 	sink := db.durableSink()
 	if sink == nil || sqlText == "" || !isMutationStmt(st) {
-		return db.runVals(st, slot, vals)
+		return db.runVals(st, slot, bound)
 	}
 	var (
 		res     *Result
@@ -138,7 +143,7 @@ func (db *DB) runLogged(sqlText string, st Statement, slot *planSlot, params ...
 		bufp    *[]byte
 	)
 	walErr := sink.LogMutation(func() ([]byte, error) {
-		res, execErr = db.runVals(st, slot, vals)
+		res, execErr = db.runVals(st, slot, bound)
 		// Failing statements are logged too: a multi-row INSERT or an
 		// UPDATE/DELETE can error midway with earlier rows already
 		// applied, and execution is deterministic, so replaying the
@@ -240,8 +245,8 @@ func eval(e *env, x Expr, params []Value) (Value, error) {
 	case *Literal:
 		return v.Val, nil
 	case *Param:
-		if v.Ordinal-1 >= len(params) {
-			return Null, fmt.Errorf("relational: missing parameter %d", v.Ordinal)
+		if v.Ordinal-1 >= len(params) || params[v.Ordinal-1].T == missingParamType {
+			return Null, fmt.Errorf("relational: missing parameter %d", paramSrc(v))
 		}
 		return params[v.Ordinal-1], nil
 	case *ColumnRef:
@@ -472,7 +477,7 @@ func (t *table) planAccess(baseName string, where Expr, params []Value) accessPa
 		case *Literal:
 			return x.Val, true
 		case *Param:
-			if x.Ordinal-1 < len(params) {
+			if x.Ordinal-1 < len(params) && params[x.Ordinal-1].T != missingParamType {
 				return params[x.Ordinal-1], true
 			}
 		}
@@ -494,8 +499,7 @@ func (t *table) planAccess(baseName string, where Expr, params []Value) accessPa
 					continue
 				}
 				// flip operator
-				flipped := map[string]string{"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
-				op, okf := flipped[x.Op]
+				op, okf := flippedOp[x.Op]
 				if !okf {
 					continue
 				}
@@ -562,6 +566,11 @@ func (t *table) planAccess(baseName string, where Expr, params []Value) accessPa
 	}
 	return accessPath{desc: best.desc, ids: best.ids}
 }
+
+// flippedOp mirrors a comparison operator for "literal op column" predicates
+// rewritten to "column op literal" — shared by the interpreted planner and
+// the compiled sargable-candidate builder so both normalize identically.
+var flippedOp = map[string]string{"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
 // lookupEqLocked requires t.mu held (read).
 func (ix *indexDef) lookupEqLocked(v Value) []int {

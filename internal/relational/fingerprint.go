@@ -1,0 +1,136 @@
+package relational
+
+import "sync"
+
+// Shape-key markers. Token texts in the key are letters, digits, '_' and
+// ASCII punctuation, and every token is terminated by fpSep, so the control
+// bytes below cannot collide with content; inline strings are encoded with
+// appendValueKey (tag + length prefix, key.go), which is unambiguous against
+// everything else.
+const (
+	fpSep      = 0x00 // token terminator
+	fpAutoLit  = 0x01 // auto-extracted literal slot
+	fpExplicit = 0x02 // explicit '?' placeholder
+)
+
+// maxAutoParams bounds literal extraction per statement. A statement with
+// more inline literals than this (e.g. a giant IN list) bails to exact-text
+// keying: such texts are almost certainly machine-generated one-offs whose
+// shape would pollute the cache, and the merged parameter vector stays small.
+const maxAutoParams = 64
+
+// fingerprint is the reusable scratch state of one fingerprint pass: the
+// binary shape key plus the literal values extracted from the text, in
+// token order.
+type fingerprint struct {
+	key  []byte
+	lits []Value
+}
+
+var fpScratch = sync.Pool{New: func() any {
+	return &fingerprint{key: make([]byte, 0, 256), lits: make([]Value, 0, 8)}
+}}
+
+// fpRegion tracks which lexical region of the statement the sweep is in.
+// Literals in the SELECT projection list, ORDER BY keys and LIMIT/OFFSET
+// stay inline in the key (bail-to-inline): those constants shape the result
+// set — projection arity/typing, sort keys and top-k heap sizing — so two
+// texts differing there must not share a plan. Everywhere else (WHERE, SET,
+// VALUES, HAVING, join-free predicates) literal identity only changes bound
+// values, and literals become ordinal slots.
+type fpRegion int
+
+const (
+	regStart  fpRegion = iota // before the statement keyword
+	regItems                  // SELECT projection list
+	regNormal                 // literal-extracting regions
+	regOrder                  // ORDER BY keys
+	regLimit                  // LIMIT/OFFSET counts
+)
+
+// fingerprintStmt sweeps sql once with the zero-allocation tokenizer,
+// filling fp with a canonical shape key ('S'-prefixed: keywords uppercased,
+// whitespace and comments erased, extractable literals reduced to ordinal
+// slots) and the extracted literal values in order. It reports false when
+// the statement should bail to exact-text keying: lexical errors,
+// non-fingerprintable statement kinds (DDL), unparseable numbers, or too
+// many literals. It never allocates beyond fp's own growth (amortized O(1)
+// per statement).
+func fingerprintStmt(fp *fingerprint, sql string) bool {
+	fp.key = append(fp.key[:0], 'S')
+	fp.lits = fp.lits[:0]
+	tz := newTokenizer(sql)
+	reg := regStart
+	start := true
+	for {
+		t, err := tz.next()
+		if err != nil {
+			return false
+		}
+		if t.kind == tokEOF {
+			break
+		}
+		if start {
+			if t.kind != tokKeyword {
+				return false
+			}
+			switch t.text {
+			case "EXPLAIN":
+				// keep scanning for the statement keyword
+			case "SELECT":
+				reg = regItems
+				start = false
+			case "INSERT", "UPDATE", "DELETE":
+				reg = regNormal
+				start = false
+			default:
+				return false
+			}
+			fp.key = append(fp.key, t.text...)
+			fp.key = append(fp.key, fpSep)
+			continue
+		}
+		switch t.kind {
+		case tokKeyword:
+			switch t.text {
+			case "FROM", "WHERE", "GROUP", "HAVING":
+				reg = regNormal
+			case "ORDER":
+				reg = regOrder
+			case "LIMIT", "OFFSET":
+				reg = regLimit
+			}
+			fp.key = append(fp.key, t.text...)
+		case tokIdent, tokOp:
+			fp.key = append(fp.key, t.text...)
+		case tokParam:
+			fp.key = append(fp.key, fpExplicit)
+		case tokNumber:
+			if reg == regNormal {
+				v, err := numberValue(t.text)
+				if err != nil {
+					return false
+				}
+				if len(fp.lits) >= maxAutoParams {
+					return false
+				}
+				fp.lits = append(fp.lits, v)
+				fp.key = append(fp.key, fpAutoLit)
+			} else {
+				fp.key = append(fp.key, t.text...)
+			}
+		case tokString:
+			if reg == regNormal {
+				if len(fp.lits) >= maxAutoParams {
+					return false
+				}
+				fp.lits = append(fp.lits, NewString(t.stringVal()))
+				fp.key = append(fp.key, fpAutoLit)
+			} else {
+				fp.key = appendValueKey(fp.key, NewString(t.stringVal()))
+			}
+		}
+		fp.key = append(fp.key, fpSep)
+	}
+	return !start
+}

@@ -6,40 +6,109 @@ import (
 	"strings"
 )
 
-// parser is a recursive-descent parser for the engine's SQL dialect.
+// parser is a recursive-descent parser for the engine's SQL dialect. It
+// consumes the tokenizer stream directly (one token of lookahead buffered in
+// peekTok), so parsing allocates only the AST — no intermediate token slice.
+//
+// In auto mode (parseNormalized) the parser mirrors the fingerprint pass:
+// number and string literals outside inline regions become auto-extracted
+// parameter slots instead of Literal nodes, so one parsed form serves every
+// statement sharing the shape. inline > 0 marks the regions whose literals
+// stay inline (SELECT items and ORDER BY keys; LIMIT/OFFSET read their
+// numbers directly and are inline by construction) — these literals feed
+// projection shape, ordering and top-k sizing, where literal identity changes
+// plan semantics.
 type parser struct {
-	toks    []token
-	pos     int
-	nparams int
+	tz      tokenizer
+	tok     token
+	peekTok token
+	hasPeek bool
+	// lexErr is the first lexical error encountered; once set, the stream
+	// yields synthetic EOF tokens and the error takes priority over any
+	// later parse error.
+	lexErr  error
+	nparams int // explicit '?' count
+	nslots  int // unified slots (explicit + auto) in auto mode
+	auto    bool
+	slots   []int // per unified slot: 0 = auto literal, else 1-based '?' ordinal
+	inline  int
 }
 
 // Parse parses one SQL statement.
 func Parse(sql string) (Statement, error) {
-	toks, err := lex(sql)
-	if err != nil {
-		return nil, err
-	}
-	p := &parser{toks: toks}
+	st, _, err := parseSQL(sql, false)
+	return st, err
+}
+
+// parseNormalized parses sql with literal auto-extraction enabled, returning
+// the statement plus the unified slot layout (0 = auto-extracted literal,
+// n>0 = explicit '?' ordinal n). The caller merges fingerprint-extracted
+// literal values with caller-supplied params following that layout.
+func parseNormalized(sql string) (Statement, []int, error) {
+	return parseSQL(sql, true)
+}
+
+func parseSQL(sql string, auto bool) (Statement, []int, error) {
+	p := &parser{tz: newTokenizer(sql), auto: auto}
+	p.advance() // prime the current token
 	st, err := p.statement()
 	if err != nil {
-		return nil, err
+		if p.lexErr != nil {
+			return nil, nil, p.lexErr
+		}
+		return nil, nil, err
 	}
 	// allow trailing semicolon
 	if p.cur().kind == tokOp && p.cur().text == ";" {
-		p.pos++
+		p.advance()
+	}
+	if p.lexErr != nil {
+		return nil, nil, p.lexErr
 	}
 	if p.cur().kind != tokEOF {
-		return nil, fmt.Errorf("relational: unexpected trailing input %q at %d", p.cur().text, p.cur().pos)
+		return nil, nil, fmt.Errorf("relational: unexpected trailing input %q at %d", p.cur().text, p.cur().pos)
 	}
-	return st, nil
+	return st, p.slots, nil
 }
 
-func (p *parser) cur() token  { return p.toks[p.pos] }
-func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+// lex1 pulls one token from the tokenizer, degrading to synthetic EOF after
+// a lexical error.
+func (p *parser) lex1() token {
+	if p.lexErr != nil {
+		return token{kind: tokEOF, pos: p.tz.pos}
+	}
+	t, err := p.tz.next()
+	if err != nil {
+		p.lexErr = err
+		return token{kind: tokEOF, pos: p.tz.pos}
+	}
+	return t
+}
+
+func (p *parser) advance() {
+	if p.hasPeek {
+		p.tok = p.peekTok
+		p.hasPeek = false
+		return
+	}
+	p.tok = p.lex1()
+}
+
+// peek returns the token after the current one without consuming it.
+func (p *parser) peek() token {
+	if !p.hasPeek {
+		p.peekTok = p.lex1()
+		p.hasPeek = true
+	}
+	return p.peekTok
+}
+
+func (p *parser) cur() token  { return p.tok }
+func (p *parser) next() token { t := p.tok; p.advance(); return t }
 
 func (p *parser) acceptKeyword(kw string) bool {
 	if p.cur().kind == tokKeyword && p.cur().text == kw {
-		p.pos++
+		p.advance()
 		return true
 	}
 	return false
@@ -54,7 +123,7 @@ func (p *parser) expectKeyword(kw string) error {
 
 func (p *parser) acceptOp(op string) bool {
 	if p.cur().kind == tokOp && p.cur().text == op {
-		p.pos++
+		p.advance()
 		return true
 	}
 	return false
@@ -70,7 +139,7 @@ func (p *parser) expectOp(op string) error {
 func (p *parser) expectIdent() (string, error) {
 	t := p.cur()
 	if t.kind == tokIdent {
-		p.pos++
+		p.advance()
 		return t.text, nil
 	}
 	// Permit non-reserved keyword-looking identifiers for column names like
@@ -85,7 +154,7 @@ func (p *parser) statement() (Statement, error) {
 	}
 	switch t.text {
 	case "EXPLAIN":
-		p.pos++
+		p.advance()
 		st, err := p.statement()
 		if err != nil {
 			return nil, err
@@ -120,18 +189,21 @@ func (p *parser) selectStmt() (*SelectStmt, error) {
 	sel := &SelectStmt{Limit: -1}
 	sel.Distinct = p.acceptKeyword("DISTINCT")
 
+	p.inline++ // projection literals shape the result; keep them inline
 	for {
 		if p.acceptOp("*") {
 			sel.Items = append(sel.Items, SelectItem{Star: true})
 		} else {
 			e, err := p.expr()
 			if err != nil {
+				p.inline--
 				return nil, err
 			}
 			item := SelectItem{Expr: e}
 			if p.acceptKeyword("AS") {
 				a, err := p.expectIdent()
 				if err != nil {
+					p.inline--
 					return nil, err
 				}
 				item.Alias = a
@@ -144,6 +216,7 @@ func (p *parser) selectStmt() (*SelectStmt, error) {
 			break
 		}
 	}
+	p.inline--
 
 	if err := p.expectKeyword("FROM"); err != nil {
 		return nil, err
@@ -223,9 +296,11 @@ func (p *parser) selectStmt() (*SelectStmt, error) {
 		if err := p.expectKeyword("BY"); err != nil {
 			return nil, err
 		}
+		p.inline++ // ordering keys (incl. positional numbers) stay inline
 		for {
 			e, err := p.expr()
 			if err != nil {
+				p.inline--
 				return nil, err
 			}
 			item := OrderItem{Expr: e}
@@ -239,6 +314,7 @@ func (p *parser) selectStmt() (*SelectStmt, error) {
 				break
 			}
 		}
+		p.inline--
 	}
 	if p.acceptKeyword("LIMIT") {
 		n, err := p.expectInt()
@@ -262,7 +338,7 @@ func (p *parser) expectInt() (int, error) {
 	if t.kind != tokNumber {
 		return 0, fmt.Errorf("relational: expected number, got %q at %d", t.text, t.pos)
 	}
-	p.pos++
+	p.advance()
 	n, err := strconv.Atoi(t.text)
 	if err != nil {
 		return 0, fmt.Errorf("relational: invalid integer %q", t.text)
@@ -361,9 +437,9 @@ func (p *parser) comparison() (Expr, error) {
 	// [NOT] IN / BETWEEN / LIKE
 	notPrefix := false
 	if p.cur().kind == tokKeyword && p.cur().text == "NOT" {
-		nt := p.toks[p.pos+1]
+		nt := p.peek()
 		if nt.kind == tokKeyword && (nt.text == "IN" || nt.text == "BETWEEN" || nt.text == "LIKE") {
-			p.pos++
+			p.advance()
 			notPrefix = true
 		}
 	}
@@ -414,7 +490,7 @@ func (p *parser) comparison() (Expr, error) {
 	}
 	for _, op := range []string{"=", "!=", "<=", ">=", "<", ">"} {
 		if p.cur().kind == tokOp && p.cur().text == op {
-			p.pos++
+			p.advance()
 			r, err := p.primary()
 			if err != nil {
 				return nil, err
@@ -425,43 +501,72 @@ func (p *parser) comparison() (Expr, error) {
 	return l, nil
 }
 
+// numberValue converts a number token's text to a Value — the single place
+// literal numbers become typed values, shared by the parser and the
+// fingerprint pass so both accept exactly the same spellings.
+func numberValue(text string) (Value, error) {
+	if strings.Contains(text, ".") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Null, fmt.Errorf("relational: bad number %q", text)
+		}
+		return NewFloat(f), nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Null, fmt.Errorf("relational: bad number %q", text)
+	}
+	return NewInt(n), nil
+}
+
+// autoSlot records an auto-extracted literal and returns its parameter node.
+func (p *parser) autoSlot() *Param {
+	p.nslots++
+	p.slots = append(p.slots, 0)
+	return &Param{Ordinal: p.nslots, Auto: true}
+}
+
 func (p *parser) primary() (Expr, error) {
 	t := p.cur()
 	switch t.kind {
 	case tokNumber:
-		p.pos++
-		if strings.Contains(t.text, ".") {
-			f, err := strconv.ParseFloat(t.text, 64)
-			if err != nil {
-				return nil, fmt.Errorf("relational: bad number %q", t.text)
-			}
-			return &Literal{Val: NewFloat(f)}, nil
-		}
-		n, err := strconv.ParseInt(t.text, 10, 64)
+		p.advance()
+		v, err := numberValue(t.text)
 		if err != nil {
-			return nil, fmt.Errorf("relational: bad number %q", t.text)
+			return nil, err
 		}
-		return &Literal{Val: NewInt(n)}, nil
+		if p.auto && p.inline == 0 {
+			return p.autoSlot(), nil
+		}
+		return &Literal{Val: v}, nil
 	case tokString:
-		p.pos++
-		return &Literal{Val: NewString(t.text)}, nil
+		p.advance()
+		if p.auto && p.inline == 0 {
+			return p.autoSlot(), nil
+		}
+		return &Literal{Val: NewString(t.stringVal())}, nil
 	case tokParam:
-		p.pos++
+		p.advance()
 		p.nparams++
-		return &Param{Ordinal: p.nparams}, nil
+		if p.auto {
+			p.nslots++
+			p.slots = append(p.slots, p.nparams)
+			return &Param{Ordinal: p.nslots, Src: p.nparams}, nil
+		}
+		return &Param{Ordinal: p.nparams, Src: p.nparams}, nil
 	case tokKeyword:
 		switch t.text {
 		case "NULL":
-			p.pos++
+			p.advance()
 			return &Literal{Val: Null}, nil
 		case "TRUE":
-			p.pos++
+			p.advance()
 			return &Literal{Val: NewBool(true)}, nil
 		case "FALSE":
-			p.pos++
+			p.advance()
 			return &Literal{Val: NewBool(false)}, nil
 		case "COUNT", "SUM", "AVG", "MIN", "MAX":
-			p.pos++
+			p.advance()
 			if err := p.expectOp("("); err != nil {
 				return nil, err
 			}
@@ -484,7 +589,7 @@ func (p *parser) primary() (Expr, error) {
 			}
 			return agg, nil
 		case "NOT":
-			p.pos++
+			p.advance()
 			e, err := p.primary()
 			if err != nil {
 				return nil, err
@@ -500,7 +605,7 @@ func (p *parser) primary() (Expr, error) {
 		return &c, nil
 	case tokOp:
 		if t.text == "(" {
-			p.pos++
+			p.advance()
 			e, err := p.expr()
 			if err != nil {
 				return nil, err
@@ -509,10 +614,6 @@ func (p *parser) primary() (Expr, error) {
 				return nil, err
 			}
 			return e, nil
-		}
-		if t.text == "-" {
-			// negative literal (lexer never emits '-', but keep for safety)
-			p.pos++
 		}
 	}
 	return nil, fmt.Errorf("relational: unexpected token %q at %d", t.text, t.pos)
@@ -609,7 +710,7 @@ func (p *parser) createStmt() (Statement, error) {
 			default:
 				return nil, fmt.Errorf("relational: unknown type %q", tt.text)
 			}
-			p.pos++
+			p.advance()
 			ct.Columns = append(ct.Columns, Column{Name: cn, Type: ty})
 			if !p.acceptOp(",") {
 				break

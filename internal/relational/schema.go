@@ -130,8 +130,10 @@ type DB struct {
 	// calls; DDL flushes the altered table's statements (see stmt.go).
 	stmts *stmtCache
 	// noCompile forces interpreted execution (see SetCompileEnabled);
+	// noShape forces exact-text cache keys (see SetShapeCacheEnabled);
 	// compiles counts plan compilations for CacheStats.
 	noCompile atomic.Bool
+	noShape   atomic.Bool
 	compiles  atomic.Uint64
 
 	writeMu sync.RWMutex

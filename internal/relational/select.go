@@ -136,7 +136,7 @@ func (db *DB) execSelectInterp(sel *SelectStmt, params []Value) (*Result, error)
 			}
 		}
 		rows = filtered
-		planLines = append(planLines, "Filter("+exprString(sel.Where)+")")
+		planLines = append(planLines, "Filter("+exprDisplay(sel.Where, params)+")")
 	}
 
 	// Aggregation?
@@ -189,8 +189,10 @@ func (db *DB) execSelectInterp(sel *SelectStmt, params []Value) (*Result, error)
 		planLines = append(planLines, fmt.Sprintf("Limit(%d)", sel.Limit))
 	}
 
-	out.Plan = strings.Join(planLines, " -> ")
+	// Plan strings are an EXPLAIN artifact: ordinary queries skip the render
+	// (the compiled engine does the same, so differential runs stay aligned).
 	if sel.Explain {
+		out.Plan = strings.Join(planLines, " -> ")
 		return &Result{Columns: []string{"plan"}, Rows: []Row{{NewString(out.Plan)}}, Plan: out.Plan}, nil
 	}
 	return out, nil

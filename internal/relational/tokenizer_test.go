@@ -1,0 +1,399 @@
+package relational
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// ---- reference lexer ----
+//
+// lexRef is a verbatim copy of the slice-building lexer the streaming
+// tokenizer replaced. It is kept as the differential oracle: on ASCII input
+// the two must agree token for token (the reference decoded runes byte-wise,
+// so its behavior on multi-byte UTF-8 was wrong by construction — see the
+// UTF-8 tests for the intended divergences).
+
+var refKeywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "LIKE": true, "ORDER": true, "BY": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true, "GROUP": true,
+	"HAVING": true, "AS": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"ON": true, "INSERT": true, "INTO": true, "VALUES": true, "CREATE": true,
+	"TABLE": true, "INDEX": true, "ORDERED": true, "UNIQUE": true, "DROP": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "NULL": true, "TRUE": true,
+	"FALSE": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true,
+	"MAX": true, "DISTINCT": true, "INT": true, "FLOAT": true, "TEXT": true,
+	"BOOL": true, "BETWEEN": true, "IS": true, "EXPLAIN": true,
+}
+
+func lexRef(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			closed := false
+			for j < n {
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					closed = true
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if !closed {
+				return nil, fmt.Errorf("relational: unterminated string at %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case unicode.IsDigit(c) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			j := i
+			seenDot := false
+			for j < n && (unicode.IsDigit(rune(input[j])) || (input[j] == '.' && !seenDot)) {
+				if input[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			word := input[i:j]
+			up := strings.ToUpper(word)
+			if refKeywords[up] {
+				toks = append(toks, token{kind: tokKeyword, text: up, pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: i})
+			}
+			i = j
+		case c == '?':
+			toks = append(toks, token{kind: tokParam, text: "?", pos: i})
+			i++
+		case strings.ContainsRune("=<>!(),*.;", c):
+			if (c == '<' || c == '>' || c == '!') && i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokOp, text: input[i : i+2], pos: i})
+				i += 2
+			} else if c == '<' && i+1 < n && input[i+1] == '>' {
+				toks = append(toks, token{kind: tokOp, text: "!=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokOp, text: string(c), pos: i})
+				i++
+			}
+		default:
+			return nil, fmt.Errorf("relational: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+// tokenizeAll drains the streaming tokenizer, normalizing string tokens to
+// their decoded value so streams compare 1:1 with the reference lexer (which
+// unescaped eagerly).
+func tokenizeAll(src string) ([]token, error) {
+	tz := newTokenizer(src)
+	var toks []token
+	for {
+		t, err := tz.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokString {
+			t = token{kind: tokString, text: t.stringVal(), pos: t.pos}
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}
+
+var tokenizerCorpus = []string{
+	`SELECT * FROM jobs`,
+	`SELECT id, title FROM jobs WHERE city = 'Oakland' ORDER BY id DESC LIMIT 5 OFFSET 2`,
+	`SELECT city, COUNT(*) AS n, AVG(salary) FROM jobs GROUP BY city HAVING COUNT(*) > 2`,
+	`SELECT * FROM jobs WHERE salary BETWEEN 95000 AND 105000`,
+	`SELECT * FROM jobs WHERE city IN ('Oakland', 'Seattle') AND NOT id = 3`,
+	`SELECT a.x, b.y FROM a JOIN b ON a.id = b.id WHERE a.x != b.y`,
+	`SELECT a.x FROM a LEFT JOIN b ON a.id = b.id`,
+	`INSERT INTO jobs (id, title) VALUES (1, 'it''s a job'), (2, 'plain')`,
+	`UPDATE jobs SET salary = salary, title = 'x' WHERE id = 7`,
+	`DELETE FROM jobs WHERE id <= 3 OR id >= 9`,
+	`CREATE TABLE t (id INT, v TEXT, f FLOAT, b BOOL)`,
+	`CREATE ORDERED INDEX ix ON t (id)`,
+	`DROP TABLE t`,
+	`EXPLAIN SELECT * FROM t WHERE x < 1.5 AND y > .25`,
+	`SELECT DISTINCT title FROM jobs WHERE title LIKE 'eng%' AND flag = TRUE OR flag = FALSE`,
+	`SELECT * FROM t WHERE v IS NOT NULL AND w IS NULL`,
+	`SELECT * FROM t WHERE x = ? AND y <> ?`,
+	`select id from jobs where City = 'mixed CASE keywords'`,
+	"SELECT id -- trailing comment\nFROM jobs -- another",
+	`  ` + "\t\r\n" + `SELECT 1.2.3 ; `,
+	``,
+	`   `,
+	`-- only a comment`,
+	`'unterminated`,
+	`SELECT 'ok' FROM t WHERE '''' = ''`,
+	`SELECT @ FROM t`,
+	`SELECT # FROM t`,
+	`SELECT - FROM t`,
+	`a_b __x x9 _ 9x`,
+	`?b?'s'?`,
+}
+
+// The streaming tokenizer must agree with the reference lexer, token for
+// token and error for error, on all-ASCII input.
+func TestTokenizerMatchesReference(t *testing.T) {
+	for _, src := range tokenizerCorpus {
+		compareStreams(t, src)
+	}
+}
+
+// Randomized statements: glue together fragments the grammar uses, in
+// arbitrary (mostly nonsensical) orders — the tokenizers must still agree.
+func TestTokenizerMatchesReferenceRandomized(t *testing.T) {
+	frags := []string{
+		"SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "BETWEEN",
+		"ORDER", "BY", "LIMIT", "jobs", "id", "salary", "x9", "_tmp",
+		"=", "!=", "<", "<=", ">", ">=", "<>", "(", ")", ",", "*", ".", ";",
+		"?", "42", "3.14", ".5", "1.2.3", "'str'", "'it''s'", "'unterminated",
+		"@", "#", "-", "-- comment", " ", "\t", "\n", "",
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		var sb strings.Builder
+		for j := rng.Intn(12); j > 0; j-- {
+			sb.WriteString(frags[rng.Intn(len(frags))])
+			if rng.Intn(3) != 0 {
+				sb.WriteByte(' ')
+			}
+		}
+		compareStreams(t, sb.String())
+	}
+}
+
+func compareStreams(t *testing.T, src string) {
+	t.Helper()
+	want, wantErr := lexRef(src)
+	got, gotErr := tokenizeAll(src)
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("%q: error mismatch: ref=%v new=%v", src, wantErr, gotErr)
+	}
+	if wantErr != nil {
+		if wantErr.Error() != gotErr.Error() {
+			t.Fatalf("%q: error text mismatch:\nref: %v\nnew: %v", src, wantErr, gotErr)
+		}
+		return
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%q: %d tokens, reference produced %d\nnew: %v\nref: %v", src, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i].kind != want[i].kind || got[i].text != want[i].text || got[i].pos != want[i].pos {
+			t.Fatalf("%q: token %d = {%d %q %d}, reference {%d %q %d}",
+				src, i, got[i].kind, got[i].text, got[i].pos, want[i].kind, want[i].text, want[i].pos)
+		}
+	}
+}
+
+// The old lexer decoded runes byte-wise (rune(input[i])), so multi-byte
+// identifiers broke apart and non-ASCII whitespace started garbage tokens.
+// The streaming tokenizer decodes UTF-8 properly.
+func TestTokenizerUTF8(t *testing.T) {
+	// Accented identifier: one ident token now; the reference lexer ended the
+	// word mid-rune and then failed on the orphaned continuation byte.
+	toks, err := tokenizeAll(`SELECT nom FROM employés`)
+	if err != nil {
+		t.Fatalf("accented identifier: %v", err)
+	}
+	last := toks[len(toks)-2] // before EOF
+	if last.kind != tokIdent || last.text != "employés" {
+		t.Fatalf("accented identifier token = {%d %q}", last.kind, last.text)
+	}
+	if _, refErr := lexRef(`SELECT nom FROM employés`); refErr == nil {
+		t.Fatal("reference lexer unexpectedly accepted the multi-byte identifier (regression guard is stale)")
+	}
+
+	// NBSP is whitespace: the reference treated its lead byte 0xC2 as the
+	// letter 'Â' and fabricated an identifier.
+	toks, err = tokenizeAll("SELECT id FROM jobs")
+	if err != nil {
+		t.Fatalf("NBSP separators: %v", err)
+	}
+	var texts []string
+	for _, tk := range toks[:len(toks)-1] {
+		texts = append(texts, tk.text)
+	}
+	if strings.Join(texts, " ") != "SELECT id FROM jobs" {
+		t.Fatalf("NBSP separators tokenized as %v", texts)
+	}
+	refToks, refErr := lexRef("SELECT id")
+	if refErr == nil {
+		for _, tk := range refToks {
+			// The reference saw the NBSP lead byte 0xC2 as the letter 'Â' and
+			// glued it onto the preceding word ("SELECT\xc2").
+			if tk.kind == tokIdent && strings.Contains(tk.text, "\xc2") {
+				goto refConfirmed // the documented byte-wise misbehavior
+			}
+		}
+		t.Fatal("reference lexer no longer shows the byte-wise NBSP bug (regression guard is stale)")
+	}
+refConfirmed:
+
+	// Ideographic and Greek identifiers work too.
+	toks, err = tokenizeAll(`SELECT π FROM 表1`)
+	if err != nil {
+		t.Fatalf("unicode identifiers: %v", err)
+	}
+	if toks[1].text != "π" || toks[3].text != "表1" {
+		t.Fatalf("unicode identifiers tokenized as %v", toks)
+	}
+
+	// Invalid UTF-8 is a lexical error, not a silent latin-1 identifier.
+	if _, err := tokenizeAll("SELECT \xff FROM t"); err == nil {
+		t.Fatal("invalid UTF-8 accepted")
+	}
+	// Non-letter non-space runes are rejected with a position.
+	if _, err := tokenizeAll("SELECT € FROM t"); err == nil {
+		t.Fatal("currency symbol accepted as identifier")
+	}
+}
+
+// Lexical errors are sticky: next keeps returning the same error without
+// advancing, and EOF is idempotent.
+func TestTokenizerStickyErrorAndEOF(t *testing.T) {
+	tz := newTokenizer(`SELECT @`)
+	if tok, err := tz.next(); err != nil || tok.text != "SELECT" {
+		t.Fatalf("first token: %v %v", tok, err)
+	}
+	_, err1 := tz.next()
+	_, err2 := tz.next()
+	if err1 == nil || err2 == nil || err1.Error() != err2.Error() {
+		t.Fatalf("sticky error: %v then %v", err1, err2)
+	}
+
+	tz = newTokenizer(`x`)
+	tz.next() // ident
+	for i := 0; i < 3; i++ {
+		tok, err := tz.next()
+		if err != nil || tok.kind != tokEOF || tok.pos != 1 {
+			t.Fatalf("EOF call %d: %v %v", i, tok, err)
+		}
+	}
+}
+
+func TestTokenizerEscapedStrings(t *testing.T) {
+	toks, err := tokenizeAll(`'it''s' 'plain' ''`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"it's", "plain", ""}
+	for i, w := range want {
+		if toks[i].kind != tokString || toks[i].text != w {
+			t.Fatalf("string %d = {%d %q}, want %q", i, toks[i].kind, toks[i].text, w)
+		}
+	}
+	// Raw token (before stringVal) keeps the source slice and the flag.
+	tz := newTokenizer(`'it''s'`)
+	tok, err := tz.next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tok.escaped || tok.text != "it''s" || tok.stringVal() != "it's" {
+		t.Fatalf("escaped token = %+v stringVal=%q", tok, tok.stringVal())
+	}
+}
+
+// A full sweep of a statement must not allocate: token texts are substrings
+// or interned keyword spellings.
+func TestTokenizeZeroAlloc(t *testing.T) {
+	const src = `SELECT id, title, salary FROM jobs WHERE city = 'Oakland' AND salary >= 95000.5 OR id IN (1, 2, 3) ORDER BY salary DESC LIMIT 10 -- done`
+	allocs := testing.AllocsPerRun(100, func() {
+		tz := newTokenizer(src)
+		for {
+			tok, err := tz.next()
+			if err != nil || tok.kind == tokEOF {
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("tokenize sweep allocates %v times per run, want 0", allocs)
+	}
+}
+
+// FuzzTokenize cross-checks the streaming tokenizer against the reference
+// lexer on ASCII input and asserts structural invariants everywhere: no
+// panics, monotone positions, sticky errors, bounded token count.
+func FuzzTokenize(f *testing.F) {
+	for _, s := range tokenizerCorpus {
+		f.Add(s)
+	}
+	f.Add("SELECT nom FROM employés")
+	f.Add("SELECT id")
+	f.Add("'a''b''c'")
+	f.Add("\xff\xfe")
+	f.Fuzz(func(t *testing.T, src string) {
+		tz := newTokenizer(src)
+		lastPos := -1
+		count := 0
+		var firstErr error
+		for {
+			tok, err := tz.next()
+			if err != nil {
+				firstErr = err
+				break
+			}
+			if tok.pos < lastPos || tok.pos > len(src) {
+				t.Fatalf("position went backwards or out of range: %d after %d in %q", tok.pos, lastPos, src)
+			}
+			lastPos = tok.pos
+			if tok.kind == tokEOF {
+				break
+			}
+			if tok.kind == tokString {
+				_ = tok.stringVal()
+			}
+			count++
+			if count > len(src)+1 {
+				t.Fatalf("more tokens than bytes in %q", src)
+			}
+		}
+		if firstErr != nil {
+			if _, err2 := tz.next(); err2 == nil || err2.Error() != firstErr.Error() {
+				t.Fatalf("error not sticky: %v then %v", firstErr, err2)
+			}
+		}
+		// Differential check only where the reference's byte-wise rune
+		// handling was correct, i.e. pure ASCII input.
+		for i := 0; i < len(src); i++ {
+			if src[i] >= 0x80 {
+				return
+			}
+		}
+		compareStreams(t, src)
+	})
+}

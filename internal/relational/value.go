@@ -154,6 +154,23 @@ func (v Value) numeric() (float64, bool) {
 // types compare by their string rendering (a pragmatic total order so
 // ORDER BY never fails).
 func Compare(a, b Value) int {
+	// Same-type fast paths first: filters compare a typed column against a
+	// literal of the same type on every candidate row.
+	if a.T == b.T {
+		switch a.T {
+		case TInt:
+			switch {
+			case a.I < b.I:
+				return -1
+			case a.I > b.I:
+				return 1
+			default:
+				return 0
+			}
+		case TString:
+			return strings.Compare(a.S, b.S)
+		}
+	}
 	if a.IsNull() && b.IsNull() {
 		return 0
 	}
