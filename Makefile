@@ -52,13 +52,16 @@ fuzz:
 # the run fail; A7's >= 2x speedup/allocs floors and A8's >= 5x
 # snapshot-vs-replay floor are enforced in full mode and reported here, as
 # are A9's shape-cache floors (>= 90% hit rate, >= 3x over exact keying on
-# literal-inlined statements). CI runs this on every push so regressions
-# surface immediately.
+# literal-inlined statements) and A10's telemetry overhead ceiling
+# (instrumented asks within 5% of uninstrumented, full mode; the >= 4
+# span-component floor is enforced in every mode). CI runs this on every
+# push so regressions surface immediately.
 bench-smoke:
 	$(GO) run ./cmd/benchharness -fig A5 -short
 	$(GO) run ./cmd/benchharness -fig A6 -short
 	$(GO) run ./cmd/benchharness -fig A7 -short
 	$(GO) run ./cmd/benchharness -fig A8 -short
 	$(GO) run ./cmd/benchharness -fig A9 -short
+	$(GO) run ./cmd/benchharness -fig A10 -short
 
 ci: fmt-check vet build race bench-smoke

@@ -3,13 +3,14 @@
 // Usage:
 //
 //	benchharness              # run all experiments
-//	benchharness -fig F7      # run one (F1..F10, A1..A9)
+//	benchharness -fig F7      # run one (F1..F10, A1..A10)
 //	benchharness -fig A4      # plan-cache ablation (statement-cache hit/miss counters)
 //	benchharness -fig A5      # concurrent DAG scheduler: fan-out speedup + multi-session throughput
 //	benchharness -fig A6      # step-result memoization: repeated-ask speedup + cross-session dedup
 //	benchharness -fig A7      # plan compiler: compiled-vs-interpreted ablation (scan/join/group-by)
 //	benchharness -fig A8      # durability: crash replay vs snapshot restore + warm memo across restart
 //	benchharness -fig A9      # front end: shape-keyed plan cache vs exact keying on literal-inlined SQL
+//	benchharness -fig A10     # observability: instrumented vs uninstrumented ask throughput
 //	benchharness -seed 7      # change the deterministic seed
 //	benchharness -short       # reduced iterations/latencies (smoke mode, used by make bench-smoke)
 package main
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment id to run (F1..F10, A1..A9, or 'all')")
+	fig := flag.String("fig", "all", "experiment id to run (F1..F10, A1..A10, or 'all')")
 	seed := flag.Int64("seed", 42, "deterministic seed for workloads and the simulated LLM")
 	short := flag.Bool("short", false, "smoke mode: reduced iterations and simulated latencies")
 	flag.Parse()
@@ -50,6 +51,7 @@ func main() {
 		"A7":  experiments.AblationCompile,
 		"A8":  experiments.AblationDurability,
 		"A9":  experiments.FrontendShapeCache,
+		"A10": experiments.AblationObservability,
 	}
 
 	if strings.EqualFold(*fig, "all") {
@@ -64,7 +66,7 @@ func main() {
 	}
 	run, ok := runners[strings.ToUpper(*fig)]
 	if !ok {
-		log.Fatalf("unknown experiment %q (want F1..F10, A1..A9, all)", *fig)
+		log.Fatalf("unknown experiment %q (want F1..F10, A1..A10, all)", *fig)
 	}
 	t, err := run(*seed)
 	if err != nil {

@@ -10,9 +10,15 @@
 //	GET  /sessions/{id}/flow               -> per-message flow trace
 //	GET  /agents                           -> agent registry contents
 //	GET  /data                             -> data registry contents
-//	GET  /stats                            -> stream store + durability counters
+//	GET  /stats                            -> flat registry snapshot (all counters + quantiles)
 //	GET  /memo                             -> step-result memoization stats
+//	GET  /metrics                          -> Prometheus text exposition (0.0.4)
+//	GET  /trace/{id}                       -> span tree for a session's recent asks
 //	POST /snapshot                         -> take a durability snapshot now
+//
+// With -pprof, net/http/pprof's profiling handlers are additionally served
+// under /debug/pprof/ (off by default: profiling endpoints are a debugging
+// surface, not a production one).
 //
 // Deploy-time tuning: -parallel bounds how many plan steps the coordinator
 // executes concurrently per plan, -memo bounds the step-result memoization
@@ -31,6 +37,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"strings"
 	"sync"
@@ -38,6 +45,7 @@ import (
 	"time"
 
 	"blueprint"
+	"blueprint/internal/obs"
 )
 
 type server struct {
@@ -61,6 +69,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrently executing steps per plan (0 = default)")
 	memoCap := flag.Int("memo", 0, "step-result memoization cache capacity in entries (0 = default)")
 	noMemo := flag.Bool("no-memo", false, "disable step-result memoization")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
 	sys, err := blueprint.New(blueprint.Config{
@@ -82,7 +91,17 @@ func main() {
 	mux.HandleFunc("GET /data", s.data)
 	mux.HandleFunc("GET /stats", s.stats)
 	mux.HandleFunc("GET /memo", s.memo)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /trace/{id}", s.trace)
 	mux.HandleFunc("POST /snapshot", s.snapshot)
+	if *pprofOn {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		log.Printf("pprof on at /debug/pprof/")
+	}
 
 	if *dataDir != "" {
 		rec := sys.DurabilityStats().Recovery
@@ -218,34 +237,56 @@ func (s *server) data(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.sys.DataRegistry.List("", ""))
 }
 
+// stats serves a thin view over the metrics registry: every registered
+// instrument flattened to name->value (histograms as _count/_sum/_p50/_p95/
+// _p99), plus the few non-numeric or derived fields a registry cannot carry
+// (version string, hit-rate ratios, recovery summary).
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
-	st := s.sys.Store.StatsSnapshot()
 	ms := s.sys.MemoStats()
 	cs := s.sys.Enterprise.DB.CacheStats()
 	s.mu.RLock()
 	sessions := len(s.mu.sessions)
 	s.mu.RUnlock()
 	ds := s.sys.DurabilityStats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"streams": st.StreamsCreated, "messages": st.MessagesAppended,
-		"data": st.DataMessages, "control": st.ControlMessages, "events": st.EventMessages,
-		"subscriptions": st.Subscriptions, "deliveries": st.Deliveries,
+	out := map[string]any{
 		"version": blueprint.Version, "sessions": sessions,
-		"memo_hits": ms.Hits, "memo_hit_rate": ms.HitRate(),
-		"memo_restored":   ms.Restored,
-		"stmt_cache_hits": cs.Hits, "stmt_cache_hit_rate": cs.HitRate(),
-		"stmt_cache_shape_hits":      cs.ShapeHits,
-		"stmt_cache_exact_fallbacks": cs.ExactFallbacks,
-		"stmt_cache_uncacheable":     cs.Uncacheable,
-		"plan_compiles":              cs.Compiles,
-		"durability_enabled":         s.sys.Durability != nil,
-		"durability_snapshots":       ds.Snapshots, "durability_log_bytes": ds.LogBytes,
-		"durability_segments": ds.Segments, "durability_appends": ds.Appends,
-		"durability_fsyncs":             ds.Fsyncs,
+		"memo_hit_rate":                 ms.HitRate(),
+		"stmt_cache_hit_rate":           cs.HitRate(),
+		"durability_enabled":            s.sys.Durability != nil,
+		"durability_segments":           ds.Segments,
 		"durability_last_recovery":      ds.Recovery.Duration.String(),
 		"durability_snapshot_restored":  ds.Recovery.SnapshotRestored,
 		"durability_replayed_records":   ds.Recovery.ReplayedRecords,
 		"durability_torn_tail_repaired": ds.Recovery.TornTailTruncated,
+	}
+	for name, v := range obs.Default.Snapshot() {
+		out[name] = v
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// metrics serves the registry in Prometheus text exposition format.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default.WritePrometheus(w)
+}
+
+// trace serves a session's recorded span tree: the raw spans plus a
+// rendered tree (what bpctl trace prints).
+func (s *server) trace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !strings.HasPrefix(id, "session:") {
+		id = "session:" + id
+	}
+	spans := obs.Spans.Session(id)
+	if len(spans) == 0 {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no trace recorded for " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session": id,
+		"spans":   spans,
+		"tree":    obs.RenderTree(spans),
 	})
 }
 

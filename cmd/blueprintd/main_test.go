@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"blueprint"
 )
@@ -27,6 +28,8 @@ func newTestServer(t *testing.T) (*server, *http.ServeMux) {
 	mux.HandleFunc("GET /data", s.data)
 	mux.HandleFunc("GET /stats", s.stats)
 	mux.HandleFunc("GET /memo", s.memo)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /trace/{id}", s.trace)
 	return s, mux
 }
 
@@ -120,6 +123,99 @@ func TestMemoOverHTTP(t *testing.T) {
 	}
 	if _, ok := out["memo_hit_rate"]; !ok {
 		t.Fatalf("/stats missing memo_hit_rate: %v", out)
+	}
+}
+
+func TestMetricsExpositionOverHTTP(t *testing.T) {
+	_, mux := newTestServer(t)
+	// Drive one ask so the ask counter and latency histogram have samples.
+	_, out := do(t, mux, "POST", "/sessions", "")
+	id := strings.TrimPrefix(out["id"].(string), "session:")
+	rec, _ := do(t, mux, "POST", "/sessions/"+id+"/ask", `{"text": "How many jobs are in San Francisco?"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ask = %d %s", rec.Code, rec.Body)
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec2 := httptest.NewRecorder()
+	mux.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", rec2.Code)
+	}
+	if ct := rec2.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body := rec2.Body.String()
+	for _, want := range []string{
+		"# TYPE blueprint_asks_total counter",
+		"# TYPE blueprint_ask_latency_seconds histogram",
+		`blueprint_ask_latency_seconds_bucket{le="+Inf"}`,
+		"blueprint_ask_latency_seconds_sum",
+		"blueprint_memo_hits_total",
+		"blueprint_memo_misses_total",
+		"blueprint_stmt_cache_shape_hits_total",
+		"blueprint_scheduler_busy_workers",
+		"blueprint_durability_fsyncs_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestTraceOverHTTP(t *testing.T) {
+	_, mux := newTestServer(t)
+	rec, _ := do(t, mux, "GET", "/trace/does-not-exist", "")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown trace = %d", rec.Code)
+	}
+
+	_, out := do(t, mux, "POST", "/sessions", "")
+	id := strings.TrimPrefix(out["id"].(string), "session:")
+	// A summarize intent drives the full orchestration: the Agentic
+	// Employer emits a plan, the coordinator service executes it through
+	// the scheduler, memo and the Summarizer agent.
+	rec, _ = do(t, mux, "POST", "/sessions/"+id+"/ask", `{"text": "Summarize the applicants for job 3"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ask = %d %s", rec.Code, rec.Body)
+	}
+
+	// The plan span records just after the display answer is delivered;
+	// poll briefly for the tree to complete.
+	want := []string{"session", "coordinator", "scheduler", "memo", "agent"}
+	var components map[string]bool
+	var tree string
+	for tries := 0; tries < 100; tries++ {
+		rec, out = do(t, mux, "GET", "/trace/"+id, "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("/trace = %d %s", rec.Code, rec.Body)
+		}
+		tree, _ = out["tree"].(string)
+		spans, _ := out["spans"].([]any)
+		components = map[string]bool{}
+		for _, s := range spans {
+			sp := s.(map[string]any)
+			components[sp["component"].(string)] = true
+		}
+		ok := true
+		for _, c := range want {
+			ok = ok && components[c]
+		}
+		if ok {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if out["session"] != "session:"+id {
+		t.Fatalf("trace session = %v", out["session"])
+	}
+	if !strings.Contains(tree, "session/ask") {
+		t.Fatalf("trace tree missing root:\n%s", tree)
+	}
+	for _, c := range want {
+		if !components[c] {
+			t.Fatalf("trace missing component %q (got %v)\n%s", c, components, tree)
+		}
 	}
 }
 

@@ -16,32 +16,59 @@
 //	bpctl sql <statement>             # raw SQL against the enterprise DB
 //	bpctl stats                       # statement-cache counters (shape keying)
 //	bpctl -data-dir D snapshot        # take a durability snapshot + print stats
+//	bpctl [-addr URL] trace <session> # span tree of a session on a running daemon
+//	bpctl [-addr URL] top             # live ask rate, latency quantiles, cache ratios
 //
 // With -data-dir every command runs against the durable state in that
 // directory (recovering it first), so e.g. `bpctl -data-dir D sql ...`
 // mutates durably and `bpctl -data-dir D snapshot` compacts the log.
+//
+// trace and top are the two remote commands: they query a running blueprintd
+// (its /trace/{session} and /stats endpoints) at -addr instead of booting an
+// in-process system — telemetry lives in the daemon's process.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
 	"blueprint"
 	"blueprint/internal/dataplan"
 	"blueprint/internal/nlq"
+	"blueprint/internal/obs"
 	"blueprint/internal/trace"
 )
 
 func main() {
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	dataDir := flag.String("data-dir", "", "durability directory (recover from and persist to it)")
+	addr := flag.String("addr", "http://localhost:8080", "blueprintd base URL for the remote trace/top commands")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("usage: bpctl [-data-dir D] <agents|data|search-agents|discover|nl2q|plan|ask|memo|sql|stats|snapshot> [args]")
+		log.Fatal("usage: bpctl [-data-dir D] [-addr URL] <agents|data|search-agents|discover|nl2q|plan|ask|memo|sql|stats|trace|top|snapshot> [args]")
+	}
+
+	cmd, rest := args[0], strings.Join(args[1:], " ")
+
+	// Remote commands: inspect a running daemon, no in-process system.
+	switch cmd {
+	case "trace":
+		if err := remoteTrace(*addr, rest); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case "top":
+		if err := remoteTop(*addr); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	sys, err := blueprint.New(blueprint.Config{Seed: *seed, ModelAccuracy: 1.0, DataDir: *dataDir})
@@ -49,8 +76,6 @@ func main() {
 		log.Fatal(err)
 	}
 	defer sys.Close()
-
-	cmd, rest := args[0], strings.Join(args[1:], " ")
 	switch cmd {
 	case "agents":
 		for _, spec := range sys.AgentRegistry.List() {
@@ -115,6 +140,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("answer: %s\n\nflow:\n%s", answer, trace.Render(s.Flow()))
+		if spans := obs.Spans.Session(s.ID); len(spans) > 0 {
+			fmt.Printf("\nspans:\n%s", obs.RenderTree(spans))
+		}
 	case "memo":
 		s, err := sys.StartSession("")
 		if err != nil {
@@ -169,4 +197,103 @@ func main() {
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}
+}
+
+// getJSON fetches one JSON document from a running blueprintd.
+func getJSON(addr, path string, out any) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(strings.TrimRight(addr, "/") + path)
+	if err != nil {
+		return fmt.Errorf("is blueprintd running at %s? %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if e.Error != "" {
+			return fmt.Errorf("%s: %s", path, e.Error)
+		}
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// remoteTrace prints the span tree GET /trace/{session} returns.
+func remoteTrace(addr, session string) error {
+	if session == "" {
+		return fmt.Errorf("usage: bpctl [-addr URL] trace <session>")
+	}
+	var out struct {
+		Session string `json:"session"`
+		Tree    string `json:"tree"`
+	}
+	if err := getJSON(addr, "/trace/"+url.PathEscape(strings.TrimPrefix(session, "session:")), &out); err != nil {
+		return err
+	}
+	fmt.Printf("%s\n%s", out.Session, out.Tree)
+	return nil
+}
+
+// remoteTop samples GET /stats twice, a second apart, and prints a one-shot
+// top-style summary: ask throughput and latency quantiles, memo and
+// statement-cache effectiveness, scheduler occupancy.
+func remoteTop(addr string) error {
+	sample := func() (map[string]any, error) {
+		var st map[string]any
+		err := getJSON(addr, "/stats", &st)
+		return st, err
+	}
+	num := func(st map[string]any, key string) float64 {
+		v, _ := st[key].(float64)
+		return v
+	}
+
+	first, err := sample()
+	if err != nil {
+		return err
+	}
+	time.Sleep(time.Second)
+	second, err := sample()
+	if err != nil {
+		return err
+	}
+
+	asks := num(second, "blueprint_asks_total")
+	rate := asks - num(first, "blueprint_asks_total")
+	fmt.Printf("asks      total=%.0f rate=%.1f/s  p50=%s p95=%s p99=%s\n",
+		asks, rate,
+		quantile(second, "blueprint_ask_latency_seconds_p50"),
+		quantile(second, "blueprint_ask_latency_seconds_p95"),
+		quantile(second, "blueprint_ask_latency_seconds_p99"))
+	hits, misses := num(second, "blueprint_memo_hits_total"), num(second, "blueprint_memo_misses_total")
+	fmt.Printf("memo      hits=%.0f misses=%.0f hit_ratio=%s entries=%.0f\n",
+		hits, misses, ratio(hits, hits+misses), num(second, "blueprint_memo_entries"))
+	scHits, scMisses := num(second, "blueprint_stmt_cache_hits_total"), num(second, "blueprint_stmt_cache_misses_total")
+	fmt.Printf("stmt      hits=%.0f (shape=%.0f) misses=%.0f hit_ratio=%s compiles=%.0f\n",
+		scHits, num(second, "blueprint_stmt_cache_shape_hits_total"), scMisses,
+		ratio(scHits, scHits+scMisses), num(second, "blueprint_plan_compiles_total"))
+	fmt.Printf("sched     steps=%.0f cached=%.0f busy_workers=%.0f  step_p95=%s\n",
+		num(second, "blueprint_scheduler_steps_total"), num(second, "blueprint_scheduler_steps_cached_total"),
+		num(second, "blueprint_scheduler_busy_workers"), quantile(second, "blueprint_step_latency_seconds_p95"))
+	fmt.Printf("sessions  open=%.0f  durability appends=%.0f fsyncs=%.0f\n",
+		num(second, "blueprint_sessions_open"),
+		num(second, "blueprint_durability_appends_total"), num(second, "blueprint_durability_fsyncs_total"))
+	return nil
+}
+
+func quantile(st map[string]any, key string) string {
+	v, ok := st[key].(float64)
+	if !ok || v <= 0 {
+		return "-"
+	}
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+func ratio(part, whole float64) string {
+	if whole == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*part/whole)
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"blueprint/internal/registry"
 	"blueprint/internal/streams"
 )
 
@@ -177,6 +178,54 @@ func TestDurableCrashReplayWithoutSnapshot(t *testing.T) {
 	}
 	if res.Rows[0][0].I != 40 {
 		t.Fatalf("crashy rows after replay = %d, want 40", res.Rows[0][0].I)
+	}
+}
+
+// TestDurableCrashReplaysRegistryMutations: registry mutations were
+// snapshot-only before the mutation WAL — a crash between snapshots lost
+// them. Now every Register/Update/Derive/Deregister appends a WAL record,
+// so a crash restart (no snapshot) must replay them.
+func TestDurableCrashReplaysRegistryMutations(t *testing.T) {
+	dir := t.TempDir()
+	sys := newDurableSystem(t, dir)
+
+	spec, err := sys.AgentRegistry.Get("SUMMARIZER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Description = spec.Description + " (tuned)"
+	if err := sys.AgentRegistry.Update(spec); err != nil {
+		t.Fatal(err)
+	}
+	wantVersion := spec.Version + 1
+	if _, err := sys.AgentRegistry.Derive("SUMMARIZER", "SUMMARIZER_FAST", "derived for crash test", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DataRegistry.Register(registry.DataAsset{
+		Name: "scratch.crash_notes", Kind: registry.KindRelational,
+		Level: registry.LevelTable, Description: "crash-test asset",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sys.SimulateCrash() // no snapshot: registry state must come from the log
+
+	sys2 := newDurableSystem(t, dir)
+	defer sys2.Close()
+	if sys2.DurabilityStats().Recovery.SnapshotRestored {
+		t.Fatal("crash restart claimed a snapshot restore")
+	}
+	got, err := sys2.AgentRegistry.Get("SUMMARIZER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != wantVersion {
+		t.Fatalf("SUMMARIZER version after crash = %d, want %d (mutation lost)", got.Version, wantVersion)
+	}
+	if _, err := sys2.AgentRegistry.Get("SUMMARIZER_FAST"); err != nil {
+		t.Fatalf("derived agent lost in crash: %v", err)
+	}
+	if _, err := sys2.DataRegistry.Get("scratch.crash_notes"); err != nil {
+		t.Fatalf("registered asset lost in crash: %v", err)
 	}
 }
 

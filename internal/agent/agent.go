@@ -42,6 +42,11 @@ type Invocation struct {
 	ReplyStream string
 	// InvocationID correlates DONE/ERROR reports with requests.
 	InvocationID string
+	// TraceParent is the caller's span token (obs.Span.Token), carried in
+	// the EXECUTE_AGENT directive so the trace survives the stream boundary:
+	// the runtime resumes the span tree under it. Empty for decentralized
+	// (tag-triggered) activations, which anchor to the session's active root.
+	TraceParent string
 }
 
 // Usage reports the QoS actuals of one invocation, folded into the session

@@ -10,6 +10,14 @@ import (
 // stream when empty), and a DONE/ERROR control report follows, carrying
 // invocationID.
 func Execute(store *streams.Store, session, agentName string, inputs map[string]any, replyStream, invocationID string) error {
+	return ExecuteTraced(store, session, agentName, inputs, replyStream, invocationID, "")
+}
+
+// ExecuteTraced is Execute with a trace parent: traceParent (an
+// obs.Span.Token, may be empty) rides the directive as the "trace_parent"
+// arg, so the consuming runtime can resume the caller's span tree across
+// the stream boundary.
+func ExecuteTraced(store *streams.Store, session, agentName string, inputs map[string]any, replyStream, invocationID, traceParent string) error {
 	if _, err := store.EnsureStream(ControlStream(session), streams.StreamInfo{Session: session}); err != nil {
 		return err
 	}
@@ -19,6 +27,9 @@ func Execute(store *streams.Store, session, agentName string, inputs map[string]
 	}
 	if invocationID != "" {
 		args["invocation_id"] = invocationID
+	}
+	if traceParent != "" {
+		args["trace_parent"] = traceParent
 	}
 	_, err := store.Append(streams.Message{
 		Stream: ControlStream(session),

@@ -7,7 +7,15 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blueprint/internal/obs"
 	"blueprint/internal/streams"
+)
+
+// Process-wide agent-runtime instruments (per-instance counters stay on
+// Instance.Stats; these aggregate across all agents for /metrics).
+var (
+	mInvocations = obs.Default.Counter("blueprint_agent_invocations_total", "agent processor invocations across all instances")
+	mInvErrors   = obs.Default.Counter("blueprint_agent_errors_total", "agent invocations that returned an error")
 )
 
 // Well-known per-session stream names. Streams are the only channel between
@@ -193,6 +201,7 @@ func (in *Instance) controlLoop() {
 		}
 		reply, _ := d.Args["reply_stream"].(string)
 		invID, _ := d.Args["invocation_id"].(string)
+		traceParent, _ := d.Args["trace_parent"].(string)
 		if invID == "" {
 			invID = fmt.Sprintf("%s-%d", in.agent.Spec.Name, in.nextInv.Add(1))
 		}
@@ -202,6 +211,7 @@ func (in *Instance) controlLoop() {
 			Trigger:      msg,
 			ReplyStream:  reply,
 			InvocationID: invID,
+			TraceParent:  traceParent,
 		})
 	}
 }
@@ -276,14 +286,27 @@ func (in *Instance) run(inv Invocation) {
 	ctx, cancel := context.WithTimeout(context.Background(), in.opts.Timeout)
 	defer cancel()
 
+	name := in.agent.Spec.Name
+	// Resume the caller's trace across the stream boundary (centralized
+	// activation carries a trace_parent token); tag-triggered activations
+	// anchor beneath the session's active root, or trace nothing when no
+	// ask is in flight. The span rides ctx so processors that touch the
+	// relational engine extend the tree.
+	sp := obs.Spans.Resume(in.session, inv.TraceParent, "agent", name)
+	sp.SetAttr("invocation", inv.InvocationID)
+	ctx = obs.ContextWith(ctx, sp)
+	defer sp.End()
+
 	start := time.Now()
 	out, err := in.agent.Process(ctx, inv)
 	elapsed := time.Since(start)
 	in.invocations.Add(1)
+	mInvocations.Inc()
 
-	name := in.agent.Spec.Name
 	if err != nil {
 		in.errs.Add(1)
+		mInvErrors.Inc()
+		sp.SetAttr("error", obs.Truncate(err.Error(), 120))
 		_, _ = in.store.Append(streams.Message{
 			Stream: ControlStream(in.session), Kind: streams.Control, Sender: name,
 			Directive: &streams.Directive{Op: OpAgentError, Agent: name, Args: map[string]any{

@@ -9,6 +9,19 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"blueprint/internal/obs"
+)
+
+// Process-wide admission-outcome instruments: how often steps reserve
+// headroom, get rejected at admission, commit actuals, release unused
+// reservations, or ride free on a memo hit.
+var (
+	mReserves          = obs.Default.Counter("blueprint_budget_reserves_total", "successful budget reservations (step admissions)")
+	mReserveRejections = obs.Default.Counter("blueprint_budget_reserve_rejections_total", "budget reservations rejected at admission")
+	mCommits           = obs.Default.Counter("blueprint_budget_commits_total", "reservations committed with step actuals")
+	mReleases          = obs.Default.Counter("blueprint_budget_releases_total", "reservations released without charging (failed or cancelled steps)")
+	mMemoCharges       = obs.Default.Counter("blueprint_budget_memo_charges_total", "steps charged as memo hits (zero cost and latency)")
 )
 
 // Limits are the QoS constraints of one task execution.
@@ -143,6 +156,7 @@ func (b *Budget) ChargeMemoHit(step string, accuracy float64) []Violation {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.memoHits++
+	mMemoCharges.Inc()
 	return b.chargeLocked(step, 0, 0, accuracy)
 }
 
@@ -183,8 +197,10 @@ func (b *Budget) Reserve(step string, cost float64, latency time.Duration) (*Res
 		})
 	}
 	if len(out) > 0 {
+		mReserveRejections.Inc()
 		return nil, out
 	}
+	mReserves.Inc()
 	b.reservedCost += cost
 	b.reservedLatency += latency
 	return &Reservation{b: b, step: step, cost: cost, latency: latency}, nil
@@ -203,6 +219,7 @@ func (r *Reservation) Commit(cost float64, latency time.Duration, accuracy float
 	if r.done {
 		return nil
 	}
+	mCommits.Inc()
 	r.releaseLocked()
 	return r.b.chargeLocked(r.step, cost, latency, accuracy)
 }
@@ -215,6 +232,9 @@ func (r *Reservation) Release() {
 	}
 	r.b.mu.Lock()
 	defer r.b.mu.Unlock()
+	if !r.done {
+		mReleases.Inc()
+	}
 	r.releaseLocked()
 }
 

@@ -67,10 +67,21 @@ import (
 	"blueprint/internal/dataplan"
 	"blueprint/internal/llm"
 	"blueprint/internal/memo"
+	"blueprint/internal/obs"
 	"blueprint/internal/optimizer"
 	"blueprint/internal/planner"
 	"blueprint/internal/registry"
 	"blueprint/internal/streams"
+)
+
+// Process-wide coordinator instruments.
+var (
+	mPlans       = obs.Default.Counter("blueprint_plans_total", "plan executions started")
+	mPlanAborts  = obs.Default.Counter("blueprint_plan_aborts_total", "plan executions aborted on budget violations")
+	mSteps       = obs.Default.Counter("blueprint_scheduler_steps_total", "plan steps scheduled (executed or satisfied from the memo)")
+	mStepsCached = obs.Default.Counter("blueprint_scheduler_steps_cached_total", "plan steps satisfied from the memoization store")
+	mBusyWorkers = obs.Default.Gauge("blueprint_scheduler_busy_workers", "scheduler workers currently executing a step")
+	mStepLatency = obs.Default.Histogram("blueprint_step_latency_seconds", "wall time of one scheduled step, admission to commit", obs.LatencyBuckets)
 )
 
 // Coordinator errors.
@@ -178,6 +189,17 @@ func (c *Coordinator) ExecutePlan(session string, p *planner.Plan, b *budget.Bud
 		b = budget.New(budget.Limits{})
 	}
 	res := &Result{PlanID: p.ID}
+	mPlans.Inc()
+
+	// The plan span anchors beneath the session's active root (the ask in
+	// flight); watched plans arriving on streams have no caller context, so
+	// anchoring — not a ctx parameter — is what links them into the tree.
+	span := obs.Spans.StartUnder(session, "coordinator", "plan")
+	span.SetAttr("plan", p.ID)
+	if p.Utterance != "" {
+		span.SetAttr("utterance", obs.Truncate(p.Utterance, 60))
+	}
+	defer span.End()
 
 	// Pre-execution projection (§V-H: plan arrives "along with an initial
 	// budget and projected costs (estimated by the optimizer)"). The
@@ -210,7 +232,7 @@ func (c *Coordinator) ExecutePlan(session string, p *planner.Plan, b *budget.Bud
 		}
 	}
 
-	err := newScheduler(c, session, p, b, res).run()
+	err := newScheduler(c, session, p, b, res, span).run()
 	res.Budget = b.Snapshot()
 	return res, err
 }
@@ -228,6 +250,7 @@ func (c *Coordinator) confirm(vs []budget.Violation) bool {
 }
 
 func (c *Coordinator) abort(session string, res *Result, b *budget.Budget, reason string) (*Result, error) {
+	mPlanAborts.Inc()
 	res.Aborted = true
 	res.AbortReason = reason
 	res.Budget = b.Snapshot()
@@ -313,7 +336,7 @@ func (c *Coordinator) executeStep(ctx context.Context, session string, p *planne
 	}, false)
 	defer ctrl.Cancel()
 
-	if err := agent.Execute(c.store, session, step.Agent, inputs, replyStream, invID); err != nil {
+	if err := agent.ExecuteTraced(c.store, session, step.Agent, inputs, replyStream, invID, obs.FromContext(ctx).Token()); err != nil {
 		return sr, err
 	}
 

@@ -10,6 +10,7 @@ import (
 	"blueprint/internal/agent"
 	"blueprint/internal/budget"
 	"blueprint/internal/memo"
+	"blueprint/internal/obs"
 	"blueprint/internal/planner"
 	"blueprint/internal/registry"
 	"blueprint/internal/streams"
@@ -60,8 +61,10 @@ type stepOutcome struct {
 	err    error
 }
 
-func newScheduler(c *Coordinator, session string, p *planner.Plan, b *budget.Budget, res *Result) *scheduler {
+func newScheduler(c *Coordinator, session string, p *planner.Plan, b *budget.Budget, res *Result, span *obs.Span) *scheduler {
 	ctx, cancel := context.WithCancel(context.Background())
+	// The plan span rides the scheduler context so step spans parent to it.
+	ctx = obs.ContextWith(ctx, span)
 	return &scheduler{
 		c: c, session: session, plan: p, budget: b, res: res,
 		ctx: ctx, cancel: cancel,
@@ -106,7 +109,10 @@ func (s *scheduler) run() error {
 		go func() {
 			defer wg.Done()
 			for st := range ready {
-				done <- s.runStep(st)
+				mBusyWorkers.Add(1)
+				oc := s.runStep(st)
+				mBusyWorkers.Add(-1)
+				done <- oc
 			}
 		}()
 	}
@@ -165,6 +171,16 @@ func (s *scheduler) runStep(step planner.Step) stepOutcome {
 	if s.ctx.Err() != nil {
 		return stepOutcome{stepID: step.ID, ran: false}
 	}
+	mSteps.Inc()
+	ctx, sp := obs.StartSpan(s.ctx, "scheduler", "step:"+step.ID)
+	sp.SetAttr("agent", step.Agent)
+	defer sp.End()
+	var started time.Time
+	if obs.On() {
+		started = time.Now()
+	}
+	defer mStepLatency.ObserveSince(started)
+
 	inputs, err := s.c.resolveInputs(s.session, s.plan, step, s.snapshotOutputs(), s.budget)
 	if err != nil {
 		err = fmt.Errorf("%w: %s: %v", ErrStepFailed, step.ID, err)
@@ -174,11 +190,11 @@ func (s *scheduler) runStep(step planner.Step) stepOutcome {
 	if s.c.opts.Memo != nil {
 		if spec, err := s.c.reg.Get(step.Agent); err == nil && spec.Cacheable {
 			if key, kerr := memo.ComputeKey(spec.Name, spec.Version, inputs); kerr == nil {
-				return s.runMemoized(step, spec, key, inputs)
+				return s.runMemoized(ctx, step, spec, key, inputs)
 			}
 		}
 	}
-	return s.runFresh(step, inputs)
+	return s.runFresh(ctx, step, inputs)
 }
 
 // runMemoized satisfies the step from the memoization store when possible:
@@ -188,12 +204,18 @@ func (s *scheduler) runStep(step planner.Step) stepOutcome {
 // sessions sharing this Coordinator — run once and share the result. The
 // leader runs the full fresh path (admission, execution, commit) so its
 // plan is charged normally; only the winners' waiters ride free.
-func (s *scheduler) runMemoized(step planner.Step, spec registry.AgentSpec, key memo.Key, inputs map[string]any) stepOutcome {
+func (s *scheduler) runMemoized(ctx context.Context, step planner.Step, spec registry.AgentSpec, key memo.Key, inputs map[string]any) stepOutcome {
+	// The memo span covers the whole Do (for a leader that includes the
+	// fresh execution it led); the agent execution itself is a sibling child
+	// of the step span, so hit/coalesced trees show a bare memo/lookup and
+	// miss trees show lookup + execution side by side.
+	_, msp := obs.StartSpan(ctx, "memo", "lookup")
+	msp.SetAttr("agent", spec.Name)
 	var leaderOC stepOutcome
 	led := false
-	entry, _, err := s.c.opts.Memo.Do(s.ctx, key, spec.Name, spec.Reads, spec.QoS.Freshness, func() (memo.Entry, error) {
+	entry, outcome, err := s.c.opts.Memo.Do(s.ctx, key, spec.Name, spec.Reads, spec.QoS.Freshness, func() (memo.Entry, error) {
 		led = true
-		leaderOC = s.runFresh(step, inputs)
+		leaderOC = s.runFresh(ctx, step, inputs)
 		if leaderOC.err != nil || !leaderOC.ran {
 			e := leaderOC.err
 			if e == nil {
@@ -214,6 +236,11 @@ func (s *scheduler) runMemoized(step planner.Step, spec registry.AgentSpec, key 
 		}
 		return memo.Entry{Outputs: sr.Outputs, Cost: sr.Cost, Latency: sr.Latency}, nil
 	})
+	msp.SetAttr("outcome", outcome.String())
+	msp.End()
+	if outcome != memo.Miss {
+		mStepsCached.Inc()
+	}
 	if led {
 		// This goroutine executed (and already recorded) the step itself.
 		return leaderOC
@@ -262,7 +289,7 @@ func (s *scheduler) runMemoized(step planner.Step, spec registry.AgentSpec, key 
 
 // runFresh executes the step for real: budget admission, agent execution
 // with one optional replan retry, and the Commit of actuals.
-func (s *scheduler) runFresh(step planner.Step, inputs map[string]any) stepOutcome {
+func (s *scheduler) runFresh(ctx context.Context, step planner.Step, inputs map[string]any) stepOutcome {
 	// Admission: reserve the registry's projected cost so parallel steps
 	// cannot jointly overshoot the cost limit. Latency is deliberately NOT
 	// reserved per step — concurrent steps overlap in time, so summing
@@ -290,7 +317,7 @@ func (s *scheduler) runFresh(step planner.Step, inputs map[string]any) stepOutco
 		}
 	}
 
-	sr, execErr := s.c.executeStep(s.ctx, s.session, s.plan, step, inputs)
+	sr, execErr := s.c.executeStep(ctx, s.session, s.plan, step, inputs)
 	if execErr != nil && s.c.opts.RetryOnError && s.c.tp != nil && s.ctx.Err() == nil {
 		if np, rerr := s.c.tp.Replan(s.plan, step.ID); rerr == nil {
 			s.mu.Lock()
@@ -317,7 +344,7 @@ func (s *scheduler) runFresh(step planner.Step, inputs map[string]any) stepOutco
 					confirmed = true
 				}
 			}
-			sr, execErr = s.c.executeStep(s.ctx, s.session, np, alt, inputs)
+			sr, execErr = s.c.executeStep(ctx, s.session, np, alt, inputs)
 			if execErr == nil {
 				step = alt
 			}
@@ -435,6 +462,7 @@ func (s *scheduler) abort(reason string) error {
 		s.cancel()
 		return err
 	}
+	mPlanAborts.Inc()
 	s.res.Aborted = true
 	s.res.AbortReason = reason
 	err := fmt.Errorf("%w: %s", ErrAborted, reason)

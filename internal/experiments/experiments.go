@@ -31,7 +31,7 @@ type Row struct {
 
 // Table is one experiment's result.
 type Table struct {
-	ID    string // "F1".."F10", "A1".."A9"
+	ID    string // "F1".."F10", "A1".."A10"
 	Title string
 	Rows  []Row
 	Notes []string
@@ -87,6 +87,7 @@ func All(seed int64) ([]*Table, error) {
 		{"A7", AblationCompile},
 		{"A8", AblationDurability},
 		{"A9", FrontendShapeCache},
+		{"A10", AblationObservability},
 	}
 	out := make([]*Table, 0, len(exps))
 	for _, e := range exps {

@@ -18,8 +18,8 @@ func TestAllExperimentsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 19 {
-		t.Fatalf("tables = %d, want 19", len(tables))
+	if len(tables) != 20 {
+		t.Fatalf("tables = %d, want 20", len(tables))
 	}
 	byID := map[string]*Table{}
 	for _, tb := range tables {
@@ -185,6 +185,26 @@ func TestAllExperimentsRun(t *testing.T) {
 	}
 	if a7["plan cache"]["compiles"] == "" || a7["plan cache"]["compiles"] == "0" {
 		t.Errorf("A7 plan cache row = %v", a7["plan cache"])
+	}
+
+	// A10: the <= 5% telemetry overhead ceiling and the >= 4 span-component
+	// floor are enforced inside the experiment itself (full mode) — a
+	// regression fails All above. Spot-check the reported tree breadth.
+	a10 := map[string]map[string]string{}
+	for _, r := range byID["A10"].Rows {
+		a10[r.Series] = map[string]string{}
+		for _, m := range r.Metrics {
+			a10[r.Series][m.Name] = m.Value
+		}
+	}
+	var spanComponents int
+	if _, err := fmt.Sscanf(a10["instrumented"]["span_components"], "%d", &spanComponents); err != nil {
+		t.Errorf("A10 span_components unparsable: %v (%v)", err, a10["instrumented"])
+	} else if spanComponents < 4 {
+		t.Errorf("A10 span components = %d, want >= 4", spanComponents)
+	}
+	if a10["instrumented"]["overhead"] == "" {
+		t.Errorf("A10 missing overhead metric: %v", a10["instrumented"])
 	}
 }
 

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"blueprint/internal/obs"
+)
+
+// AblationObservability (A10) measures what the telemetry plane costs on
+// the hot path it instruments: ask throughput with spans + histograms on
+// versus off (obs.SetEnabled), on a memo-warm session where orchestration —
+// not agent work — dominates, so the measured ratio is the adversarial one.
+// Batches of the two modes interleave and each mode keeps its best trial,
+// cancelling allocator and scheduler drift. Full uninstrumented runs
+// enforce the <= 5% overhead ceiling as an error; the span tree produced by
+// the instrumented batches must always reach the >= 4 distinct components
+// the tracing design promises (session, coordinator, scheduler, memo,
+// agent, relational).
+func AblationObservability(seed int64) (*Table, error) {
+	asksPerBatch, trials := 100, 5
+	if Short {
+		asksPerBatch, trials = 10, 2
+	}
+
+	// The telemetry plane is process-global state shared with other
+	// experiments in the same run; leave it on however this one exits.
+	defer obs.SetEnabled(true)
+
+	// Per-ask cost drifts upward as a session's stream history accumulates,
+	// so both modes must measure from identical state: every batch gets a
+	// fresh system and session, pays the same warmup (memo fill + plan
+	// compilation), and times the same ask count. The summarize ask drives
+	// the deepest instrumented chain (plan -> scheduler -> memo -> agent ->
+	// relational).
+	// Each ask is timed individually and each mode keeps its fastest ask:
+	// a ~200µs ask is dwarfed by milliseconds of OS scheduling noise, so
+	// batch wall clocks conflate preemption with telemetry cost, while the
+	// min-of-many single-ask latency converges on the true fast path —
+	// systematic per-ask instrumentation cost remains, outliers drop out.
+	const utterance = "Summarize the applicants for job 3"
+	components := map[string]bool{}
+	batch := func(instrumented bool) (time.Duration, error) {
+		sys, err := newSys(seed)
+		if err != nil {
+			return 0, err
+		}
+		defer sys.Close()
+		sess, err := sys.StartSession("")
+		if err != nil {
+			return 0, err
+		}
+		defer sess.Close()
+		obs.SetEnabled(instrumented)
+		for i := 0; i < 3; i++ {
+			if _, err := sess.Ask(utterance, 10*time.Second); err != nil {
+				return 0, fmt.Errorf("warmup: %w", err)
+			}
+		}
+		runtime.GC()
+		best := time.Duration(-1)
+		for i := 0; i < asksPerBatch; i++ {
+			start := time.Now()
+			if _, err := sess.Ask(utterance, 10*time.Second); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); best < 0 || d < best {
+				best = d
+			}
+		}
+		if instrumented {
+			for _, sp := range obs.Spans.Session(sess.ID) {
+				components[sp.Component] = true
+			}
+		}
+		return best, nil
+	}
+
+	// Overhead is the best paired ratio: each trial times both modes
+	// back-to-back and contributes on/off from the same machine state; CPU
+	// frequency drift between trials then cannot fake (or hide) a
+	// regression — a real slowdown shows up in every pair.
+	bestOff, bestOn := time.Duration(-1), time.Duration(-1)
+	overhead := 0.0
+	for trial := 0; trial < trials; trial++ {
+		off, err := batch(false)
+		if err != nil {
+			return nil, fmt.Errorf("A10 uninstrumented: %w", err)
+		}
+		on, err := batch(true)
+		if err != nil {
+			return nil, fmt.Errorf("A10 instrumented: %w", err)
+		}
+		if r := on.Seconds()/off.Seconds() - 1; trial == 0 || r < overhead {
+			overhead = r
+		}
+		if bestOff < 0 || off < bestOff {
+			bestOff = off
+		}
+		if bestOn < 0 || on < bestOn {
+			bestOn = on
+		}
+	}
+
+	// Acceptance: the instrumented batches must have produced full span
+	// trees, >= 4 distinct components under one ask root.
+	if len(components) < 4 {
+		return nil, fmt.Errorf("A10: instrumented asks produced %d span components (%v), want >= 4",
+			len(components), components)
+	}
+
+	t := &Table{ID: "A10", Title: "Observability: instrumented vs uninstrumented ask throughput (spans + histograms)"}
+	t.Rows = append(t.Rows,
+		Row{Series: "uninstrumented", Metrics: []Metric{
+			{Name: "asks", Value: fmt.Sprint(asksPerBatch * trials)},
+			{Name: "best_ask", Value: us(bestOff)},
+		}},
+		Row{Series: "instrumented", Metrics: []Metric{
+			{Name: "asks", Value: fmt.Sprint(asksPerBatch * trials)},
+			{Name: "best_ask", Value: us(bestOn)},
+			{Name: "overhead", Value: pct(overhead)},
+			{Name: "span_components", Value: fmt.Sprint(len(components))},
+		}},
+	)
+
+	// Wall-clock ratios are meaningful only on uninstrumented full runs
+	// (the race detector dwarfs the effect being measured).
+	if !Short && !raceEnabled && overhead > 0.05 {
+		return nil, fmt.Errorf("A10: telemetry overhead %.1f%% (uninstrumented %s, instrumented %s per ask), ceiling 5%%",
+			overhead*100, us(bestOff), us(bestOn))
+	}
+
+	t.Notes = append(t.Notes,
+		"memo-warm repeated ask: orchestration dominates, so the ratio upper-bounds telemetry cost on real workloads",
+		"overhead is the best back-to-back pair of min-of-ask latencies (negative = within measurement noise); a real regression shows in every pair",
+		"spans ride context.Context in-process and directive tokens across streams; histogram Observe is lock-free and allocation-free",
+		"ceiling (full mode): instrumented asks within 5% of uninstrumented; instrumented trees must span >= 4 components")
+	return t, nil
+}

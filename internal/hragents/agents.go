@@ -252,7 +252,7 @@ func (s *Suite) sqlExecutorProc() agent.Processor {
 		sql, _ := inv.Inputs["SQL"].(string)
 		// NL2Q output is templated per session: Query serves the parse from
 		// the statement cache on repeat questions.
-		res, err := s.Ent.DB.Query(sql)
+		res, err := s.Ent.DB.QueryContext(ctx, sql)
 		if err != nil {
 			return agent.Outputs{}, err
 		}
@@ -333,14 +333,14 @@ func (s *Suite) summarizerSpec() registry.AgentSpec {
 func (s *Suite) summarizerProc() agent.Processor {
 	return func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
 		id := asInt(inv.Inputs["JOB_ID"])
-		job, err := s.stmtJobSummary.Query(id)
+		job, err := s.stmtJobSummary.QueryContext(ctx, id)
 		if err != nil {
 			return agent.Outputs{}, err
 		}
 		if len(job.Rows) == 0 {
 			return agent.Outputs{}, fmt.Errorf("summarizer: job %d not found", id)
 		}
-		apps, err := s.stmtAppsByJob.Query(id)
+		apps, err := s.stmtAppsByJob.QueryContext(ctx, id)
 		if err != nil {
 			return agent.Outputs{}, err
 		}
@@ -551,7 +551,7 @@ func (s *Suite) rankerSpec() registry.AgentSpec {
 func (s *Suite) rankerProc() agent.Processor {
 	return func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
 		id := asInt(inv.Inputs["JOB_ID"])
-		res, err := s.stmtTopApps.Query(id)
+		res, err := s.stmtTopApps.QueryContext(ctx, id)
 		if err != nil {
 			return agent.Outputs{}, err
 		}

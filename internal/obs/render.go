@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderTree renders recorded spans as an indented tree with durations —
+// the `bpctl trace` / GET /trace output. Spans whose parent is absent from
+// the slice (evicted from the ring, or still in flight) render as roots.
+func RenderTree(spans []SpanData) string {
+	if len(spans) == 0 {
+		return "(no spans recorded)\n"
+	}
+	present := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		present[s.ID] = true
+	}
+	children := map[uint64][]SpanData{}
+	var roots []SpanData
+	for _, s := range spans {
+		if s.Parent != 0 && present[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	byStart := func(list []SpanData) {
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Start.Equal(list[j].Start) {
+				return list[i].ID < list[j].ID
+			}
+			return list[i].Start.Before(list[j].Start)
+		})
+	}
+	byStart(roots)
+	for _, c := range children {
+		byStart(c)
+	}
+
+	var b strings.Builder
+	var walk func(s SpanData, prefix string, last bool, top bool)
+	walk = func(s SpanData, prefix string, last bool, top bool) {
+		branch, next := "├─ ", "│  "
+		if last {
+			branch, next = "└─ ", "   "
+		}
+		if top {
+			branch, next = "", ""
+		}
+		fmt.Fprintf(&b, "%s%s%s/%s %s", prefix, branch, s.Component, s.Name, renderDur(s.Dur))
+		for _, a := range s.Attrs {
+			fmt.Fprintf(&b, " %s=%q", a.Key, a.Value)
+		}
+		b.WriteByte('\n')
+		kids := children[s.ID]
+		for i, c := range kids {
+			walk(c, prefix+next, i == len(kids)-1, false)
+		}
+	}
+	for _, r := range roots {
+		walk(r, "", true, true)
+	}
+	return b.String()
+}
+
+func renderDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+}

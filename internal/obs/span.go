@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unicode/utf8"
+)
+
+// Span tracing. A Span is one timed unit of work — an ask, a plan, a
+// scheduler step, a memo lookup, an agent invocation, a SQL statement —
+// with a parent link, a component label and key/value attributes. Spans
+// propagate two ways:
+//
+//   - In-process, via context.Context: StartSpan derives a child of the
+//     span carried by ctx (ContextWith/FromContext).
+//   - Across stream boundaries, via tokens: the coordinator embeds
+//     Span.Token() in the EXECUTE_AGENT directive args and the agent
+//     runtime resumes the trace with Tracer.Resume — orchestration crosses
+//     goroutines over streams, so the trace context must ride the message,
+//     not the call stack.
+//
+// Completed spans are recorded into a bounded per-session ring
+// (Tracer.Session reads it; GET /trace/{session} and bpctl trace render
+// it). Components that fire outside any ask (decentralized activations on
+// an idle session) produce no spans: StartUnder anchors to the session's
+// active root and returns a no-op span when there is none, so rings hold
+// coherent ask trees rather than unanchored noise.
+
+// Spans is the process-global tracer, the spans counterpart of Default.
+var Spans = NewTracer()
+
+const (
+	// maxSessions bounds how many per-session rings the tracer retains;
+	// beyond it the oldest session's trace is evicted.
+	maxSessions = 128
+	// ringCapacity bounds each session's span ring; older spans are
+	// overwritten (an ask on the hragents suite is ~20-40 spans, so the
+	// ring holds the last ~50-100 asks of a session).
+	ringCapacity = 2048
+)
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanData is a completed span as recorded in a session ring.
+type SpanData struct {
+	// ID is unique within the tracer; Parent is 0 for roots.
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Component names the producing layer: "session", "coordinator",
+	// "scheduler", "memo", "agent", "relational".
+	Component string `json:"component"`
+	// Name describes the unit of work within the component.
+	Name  string        `json:"name"`
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"duration_ns"`
+	Attrs []Attr        `json:"attrs,omitempty"`
+}
+
+// Span is an in-flight span. All methods are safe on a nil receiver — a
+// disabled tracer (or an unanchored StartUnder) hands out nil spans and
+// instrumentation sites need no conditionals.
+type Span struct {
+	t         *Tracer
+	session   string
+	id        uint64
+	parent    uint64
+	component string
+	name      string
+	start     time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// SetAttr attaches a key/value attribute (no-op after End).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+	s.mu.Unlock()
+}
+
+// End completes the span and records it into its session's ring. Ending
+// twice is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.t.record(s.session, SpanData{
+		ID: s.id, Parent: s.parent, Component: s.component, Name: s.name,
+		Start: s.start, Dur: time.Since(s.start), Attrs: attrs,
+	}, s.parent == 0, s.id)
+}
+
+// ID returns the span id (0 for nil).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Token serializes the span identity for propagation across a stream
+// boundary ("" for nil); Tracer.Resume parses it back.
+func (s *Span) Token() string {
+	if s == nil {
+		return ""
+	}
+	return strconv.FormatUint(s.id, 36)
+}
+
+// Tracer records spans into bounded per-session rings.
+type Tracer struct {
+	nextID atomic.Uint64
+
+	mu       sync.Mutex
+	sessions map[string]*sessionTrace
+	order    []string // FIFO for session eviction
+}
+
+type sessionTrace struct {
+	mu         sync.Mutex
+	ring       []SpanData
+	next       int // ring write cursor
+	full       bool
+	activeRoot uint64
+}
+
+// NewTracer creates an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{sessions: map[string]*sessionTrace{}}
+}
+
+func (t *Tracer) session(id string, create bool) *sessionTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.sessions[id]
+	if !ok && create {
+		st = &sessionTrace{ring: make([]SpanData, 0, 64)}
+		t.sessions[id] = st
+		t.order = append(t.order, id)
+		if len(t.order) > maxSessions {
+			evict := t.order[0]
+			t.order = t.order[1:]
+			delete(t.sessions, evict)
+		}
+	}
+	return st
+}
+
+func (t *Tracer) newSpan(session string, parent uint64, component, name string) *Span {
+	return &Span{
+		t: t, session: session, id: t.nextID.Add(1), parent: parent,
+		component: component, name: name, start: time.Now(),
+	}
+}
+
+// StartRoot opens a root span and marks it the session's active root:
+// until it ends, StartUnder anchors unparented work (stream-triggered
+// agents, watched plans) beneath it. Returns nil while the plane is
+// disabled.
+func (t *Tracer) StartRoot(session, component, name string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	sp := t.newSpan(session, 0, component, name)
+	st := t.session(session, true)
+	st.mu.Lock()
+	st.activeRoot = sp.id
+	st.mu.Unlock()
+	return sp
+}
+
+// StartUnder opens a span parented to the session's active root. Without an
+// active root (no ask in flight, or the plane disabled) it returns nil and
+// nothing is recorded.
+func (t *Tracer) StartUnder(session, component, name string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	st := t.session(session, false)
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	root := st.activeRoot
+	st.mu.Unlock()
+	if root == 0 {
+		return nil
+	}
+	return t.newSpan(session, root, component, name)
+}
+
+// Resume continues a trace across a stream boundary: token is a parent
+// Span.Token() carried in a message. An empty or malformed token falls back
+// to StartUnder.
+func (t *Tracer) Resume(session, token, component, name string) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	parent, err := strconv.ParseUint(token, 36, 64)
+	if err != nil || parent == 0 {
+		return t.StartUnder(session, component, name)
+	}
+	if t.session(session, false) == nil {
+		return nil
+	}
+	return t.newSpan(session, parent, component, name)
+}
+
+// record appends a completed span to the session ring; a completed root
+// releases the active-root anchor.
+func (t *Tracer) record(session string, d SpanData, isRoot bool, id uint64) {
+	st := t.session(session, true)
+	st.mu.Lock()
+	if len(st.ring) < ringCapacity && !st.full {
+		st.ring = append(st.ring, d)
+		if len(st.ring) == ringCapacity {
+			st.full = true
+		}
+	} else {
+		st.ring[st.next] = d
+		st.next = (st.next + 1) % ringCapacity
+	}
+	if isRoot && st.activeRoot == id {
+		st.activeRoot = 0
+	}
+	st.mu.Unlock()
+}
+
+// Session returns the session's recorded spans, oldest first.
+func (t *Tracer) Session(session string) []SpanData {
+	st := t.session(session, false)
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.full {
+		return append([]SpanData(nil), st.ring...)
+	}
+	out := make([]SpanData, 0, ringCapacity)
+	out = append(out, st.ring[st.next:]...)
+	out = append(out, st.ring[:st.next]...)
+	return out
+}
+
+// Sessions lists the sessions with recorded traces, oldest first.
+func (t *Tracer) Sessions() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.order...)
+}
+
+// Reset drops all recorded traces (test hook).
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.sessions = map[string]*sessionTrace{}
+	t.order = nil
+	t.mu.Unlock()
+}
+
+// ---- context propagation ----
+
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying the span (ctx unchanged for nil spans).
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// StartSpan derives a child span of the span carried by ctx, returning the
+// child-carrying context. Without a parent in ctx (or with the plane
+// disabled) it returns (ctx, nil): instrumentation is free outside a traced
+// request.
+func StartSpan(ctx context.Context, component, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil || !enabled.Load() {
+		return ctx, nil
+	}
+	sp := parent.t.newSpan(parent.session, parent.id, component, name)
+	return ContextWith(ctx, sp), sp
+}
+
+// Truncate shortens s to at most n bytes without splitting a multi-byte
+// UTF-8 rune, appending "..." when anything was cut.
+func Truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	cut := n
+	for cut > 0 && !utf8.RuneStart(s[cut]) {
+		cut--
+	}
+	return s[:cut] + "..."
+}

@@ -19,7 +19,17 @@ import (
 	"sync"
 	"time"
 
+	"blueprint/internal/obs"
 	"blueprint/internal/vectors"
+)
+
+// Process-wide registry instruments: identity-changing mutations (Register,
+// Update, Derive, Deregister — the set the durability adapter logs) and
+// data-version touches (bumped on every relational write, counted apart so
+// the mutation counter stays a deploy-rate signal rather than a DML echo).
+var (
+	mRegistryMutations = obs.Default.Counter("blueprint_registry_mutations_total", "agent and data registry mutations (register, update, derive, deregister)")
+	mRegistryTouches   = obs.Default.Counter("blueprint_registry_touches_total", "data-asset version touches from data writes")
 )
 
 // Common registry errors.
@@ -144,6 +154,36 @@ type AgentRegistry struct {
 
 	hookMu      sync.RWMutex
 	changeHooks []func(agentName string)
+	mutHook     func(AgentMutation)
+}
+
+// AgentMutation describes one durable agent-registry mutation: an upserted
+// spec (Register, Update, Derive) or a removal (Deregister). It is the
+// payload the durability adapter logs to the WAL.
+type AgentMutation struct {
+	Put    *AgentSpec `json:"put,omitempty"`
+	Remove string     `json:"remove,omitempty"`
+}
+
+// SetMutationHook installs the hook invoked (outside the registry lock) after
+// every successful mutation — registration, update, derivation, removal. The
+// durability adapter uses it to log mutations to the shared WAL; at most one
+// hook is held (last wins). Touch-style version bumps are not mutations in
+// this sense: they are reproduced by relational DML replay.
+func (r *AgentRegistry) SetMutationHook(fn func(AgentMutation)) {
+	r.hookMu.Lock()
+	r.mutHook = fn
+	r.hookMu.Unlock()
+}
+
+func (r *AgentRegistry) mutated(m AgentMutation) {
+	mRegistryMutations.Inc()
+	r.hookMu.RLock()
+	fn := r.mutHook
+	r.hookMu.RUnlock()
+	if fn != nil {
+		fn(m)
+	}
 }
 
 // OnChange registers a hook invoked (outside the registry lock) whenever an
@@ -180,21 +220,29 @@ func NewAgentRegistry() *AgentRegistry {
 
 // Register adds a new agent. The name must be unused.
 func (r *AgentRegistry) Register(spec AgentSpec) error {
+	stored, err := r.register(spec)
+	if err == nil {
+		r.mutated(AgentMutation{Put: &stored})
+	}
+	return err
+}
+
+func (r *AgentRegistry) register(spec AgentSpec) (AgentSpec, error) {
 	if spec.Name == "" {
-		return errors.New("registry: agent name required")
+		return AgentSpec{}, errors.New("registry: agent name required")
 	}
 	key := strings.ToLower(spec.Name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.specs[key]; ok {
-		return fmt.Errorf("%w: %s", ErrAgentExists, spec.Name)
+		return AgentSpec{}, fmt.Errorf("%w: %s", ErrAgentExists, spec.Name)
 	}
 	if spec.Version == 0 {
 		spec.Version = 1
 	}
 	r.specs[key] = spec
 	r.order = append(r.order, key)
-	return r.reindexLocked(key)
+	return spec, r.reindexLocked(key)
 }
 
 // Update replaces an existing agent's metadata, bumping its version. A
@@ -202,28 +250,29 @@ func (r *AgentRegistry) Register(spec AgentSpec) error {
 // so memo keys and derived-agent chains are not invalidated spuriously
 // (idempotent deploys re-register everything on every rollout).
 func (r *AgentRegistry) Update(spec AgentSpec) error {
-	changed, err := r.update(spec)
+	changed, stored, err := r.update(spec)
 	if err == nil && changed {
+		r.mutated(AgentMutation{Put: &stored})
 		r.notifyChange(spec.Name)
 	}
 	return err
 }
 
-func (r *AgentRegistry) update(spec AgentSpec) (changed bool, err error) {
+func (r *AgentRegistry) update(spec AgentSpec) (changed bool, stored AgentSpec, err error) {
 	key := strings.ToLower(spec.Name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	old, ok := r.specs[key]
 	if !ok {
-		return false, fmt.Errorf("%w: %s", ErrAgentNotFound, spec.Name)
+		return false, AgentSpec{}, fmt.Errorf("%w: %s", ErrAgentNotFound, spec.Name)
 	}
 	spec.Version = old.Version
 	if reflect.DeepEqual(spec, old) {
-		return false, nil
+		return false, AgentSpec{}, nil
 	}
 	spec.Version = old.Version + 1
 	r.specs[key] = spec
-	return true, r.reindexLocked(key)
+	return true, spec, r.reindexLocked(key)
 }
 
 // Derive registers a new agent based on an existing one with a new name and
@@ -231,6 +280,7 @@ func (r *AgentRegistry) update(spec AgentSpec) (changed bool, err error) {
 func (r *AgentRegistry) Derive(base, name, description string, mutate func(*AgentSpec)) (AgentSpec, error) {
 	spec, err := r.derive(base, name, description, mutate)
 	if err == nil {
+		r.mutated(AgentMutation{Put: &spec})
 		r.notifyChange(name)
 	}
 	return spec, err
@@ -268,6 +318,7 @@ func (r *AgentRegistry) derive(base, name, description string, mutate func(*Agen
 func (r *AgentRegistry) Deregister(name string) error {
 	err := r.deregister(name)
 	if err == nil {
+		r.mutated(AgentMutation{Remove: name})
 		r.notifyChange(name)
 	}
 	return err

@@ -112,6 +112,34 @@ type DataRegistry struct {
 
 	hookMu      sync.RWMutex
 	changeHooks []func(assetName string)
+	mutHook     func(AssetMutation)
+}
+
+// AssetMutation describes one durable data-registry mutation: an upserted
+// asset (Register, Update). Touch is deliberately absent — data-version
+// bumps are reproduced by relational DML replay, and logging them would
+// double the WAL write rate for no recovery value.
+type AssetMutation struct {
+	Put *DataAsset `json:"put,omitempty"`
+}
+
+// SetMutationHook installs the hook invoked (outside the registry lock)
+// after every successful Register/Update. At most one hook is held (last
+// wins); the durability adapter uses it to log mutations to the shared WAL.
+func (r *DataRegistry) SetMutationHook(fn func(AssetMutation)) {
+	r.hookMu.Lock()
+	r.mutHook = fn
+	r.hookMu.Unlock()
+}
+
+func (r *DataRegistry) mutated(m AssetMutation) {
+	mRegistryMutations.Inc()
+	r.hookMu.RLock()
+	fn := r.mutHook
+	r.hookMu.RUnlock()
+	if fn != nil {
+		fn(m)
+	}
 }
 
 // OnChange registers a hook invoked (outside the registry lock) whenever an
@@ -145,21 +173,29 @@ func NewDataRegistry() *DataRegistry {
 
 // Register adds an asset.
 func (r *DataRegistry) Register(a DataAsset) error {
+	stored, err := r.register(a)
+	if err == nil {
+		r.mutated(AssetMutation{Put: &stored})
+	}
+	return err
+}
+
+func (r *DataRegistry) register(a DataAsset) (DataAsset, error) {
 	if a.Name == "" {
-		return fmt.Errorf("registry: asset name required")
+		return DataAsset{}, fmt.Errorf("registry: asset name required")
 	}
 	key := strings.ToLower(a.Name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.assets[key]; ok {
-		return fmt.Errorf("%w: %s", ErrAssetExists, a.Name)
+		return DataAsset{}, fmt.Errorf("%w: %s", ErrAssetExists, a.Name)
 	}
 	if a.Version == 0 {
 		a.Version = 1
 	}
 	r.assets[key] = a
 	r.order = append(r.order, key)
-	return r.index.Upsert(key, r.embedder.Embed(a.searchText()))
+	return a, r.index.Upsert(key, r.embedder.Embed(a.searchText()))
 }
 
 // Update replaces an asset's metadata (e.g. refreshed row counts), bumping
@@ -167,24 +203,27 @@ func (r *DataRegistry) Register(a DataAsset) error {
 // whole hierarchy slice (see affectedLocked): agents typically declare
 // their Reads at database level, so a table-level change must reach them.
 func (r *DataRegistry) Update(a DataAsset) error {
-	affected, err := r.update(a)
+	affected, stored, err := r.update(a)
+	if err == nil {
+		r.mutated(AssetMutation{Put: &stored})
+	}
 	for _, name := range affected {
 		r.notifyChange(name)
 	}
 	return err
 }
 
-func (r *DataRegistry) update(a DataAsset) ([]string, error) {
+func (r *DataRegistry) update(a DataAsset) ([]string, DataAsset, error) {
 	key := strings.ToLower(a.Name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	old, ok := r.assets[key]
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrAssetNotFound, a.Name)
+		return nil, DataAsset{}, fmt.Errorf("%w: %s", ErrAssetNotFound, a.Name)
 	}
 	a.Version = old.Version + 1
 	r.assets[key] = a
-	return r.affectedLocked(a.Name), r.index.Upsert(key, r.embedder.Embed(a.searchText()))
+	return r.affectedLocked(a.Name), a, r.index.Upsert(key, r.embedder.Embed(a.searchText()))
 }
 
 // Touch bumps an asset's version without changing its metadata — the
@@ -203,6 +242,7 @@ func (r *DataRegistry) Touch(name string) error {
 	r.assets[key] = a
 	affected := r.affectedLocked(a.Name)
 	r.mu.Unlock()
+	mRegistryTouches.Inc()
 	for _, n := range affected {
 		r.notifyChange(n)
 	}

@@ -9,17 +9,19 @@ import (
 )
 
 // Durable adapts the two registries to the durability engine's Loggable
-// interface as one snapshot-only subsystem: agent specs and data assets
-// change rarely (and deterministically at boot), so they are captured at
-// snapshot time rather than logged per mutation. Restore upserts the
-// snapshot's specs/assets over the boot-time registrations, preserving the
-// recorded versions — which is exactly what the memo layer's restore
-// validation checks warm entries against.
+// interface. Snapshots capture the full catalog; between snapshots, every
+// identity-changing mutation (Register, Update, Derive, Deregister) is
+// logged as a WAL record once AttachLog installs the mutation hooks — so a
+// crash no longer loses post-snapshot registry changes. Touch-style data
+// version bumps are deliberately NOT logged: they are a deterministic echo
+// of relational DML, which replays from its own subsystem log and re-fires
+// the OnWrite -> Touch path; logging them here would double the WAL write
+// rate for no recovery value.
 //
-// Limitation, by design: registry changes made after the last snapshot are
-// lost on crash (the next boot re-registers the base set). Memoized
-// results are still safe — agent-version mismatches drop stale entries at
-// restore, and memo invalidation records replay from the log.
+// Ordering contract: AttachLog must run after Engine.Recover. Boot-time
+// registrations happen before durability wiring and are deterministic
+// (every start re-registers the same base set), so they need no records;
+// replayed records must not re-log themselves.
 type Durable struct {
 	Agents *AgentRegistry
 	Data   *DataRegistry
@@ -31,10 +33,51 @@ type durableImage struct {
 	Assets []DataAsset `json:"assets"`
 }
 
-// Apply rejects log records: the registries never append any, so one in
-// the log means corruption or a framing bug.
-func (d Durable) Apply([]byte) error {
-	return errors.New("registry: unexpected WAL record (registries are snapshot-only)")
+// mutationRecord is the WAL payload: exactly one of the two mutation kinds.
+type mutationRecord struct {
+	Agent *AgentMutation `json:"agent,omitempty"`
+	Asset *AssetMutation `json:"asset,omitempty"`
+}
+
+// AttachLog installs mutation hooks on both registries that append every
+// identity-changing mutation to the WAL through append (an Engine.Logger
+// Append). Call after recovery; see the ordering contract above.
+func (d Durable) AttachLog(append func([]byte) error) {
+	d.Agents.SetMutationHook(func(m AgentMutation) {
+		if buf, err := json.Marshal(mutationRecord{Agent: &m}); err == nil {
+			_ = append(buf)
+		}
+	})
+	d.Data.SetMutationHook(func(m AssetMutation) {
+		if buf, err := json.Marshal(mutationRecord{Asset: &m}); err == nil {
+			_ = append(buf)
+		}
+	})
+}
+
+// Apply replays one logged mutation: upserts reuse the restore path
+// (versions preserved exactly as recorded, no change notifications — the
+// memo subsystem revalidates restored entries itself), removals delete
+// quietly. A removal of an already-absent agent is a no-op, keeping replay
+// tolerant of records that straddle snapshot boundaries.
+func (d Durable) Apply(p []byte) error {
+	var rec mutationRecord
+	if err := json.Unmarshal(p, &rec); err != nil {
+		return fmt.Errorf("registry: decode WAL record: %w", err)
+	}
+	switch {
+	case rec.Agent != nil && rec.Agent.Put != nil:
+		d.Agents.restoreSpecs([]AgentSpec{*rec.Agent.Put})
+	case rec.Agent != nil && rec.Agent.Remove != "":
+		if err := d.Agents.deregister(rec.Agent.Remove); err != nil && !errors.Is(err, ErrAgentNotFound) {
+			return err
+		}
+	case rec.Asset != nil && rec.Asset.Put != nil:
+		d.Data.restoreAssets([]DataAsset{*rec.Asset.Put})
+	default:
+		return errors.New("registry: empty WAL record")
+	}
+	return nil
 }
 
 // Snapshot serializes both registries. It implements durability.Loggable.

@@ -67,9 +67,89 @@ func TestDurableSnapshotRestorePreservesVersions(t *testing.T) {
 	}
 }
 
-func TestDurableApplyRejectsLogRecords(t *testing.T) {
+func TestDurableApplyRejectsEmptyRecords(t *testing.T) {
 	d := Durable{Agents: NewAgentRegistry(), Data: NewDataRegistry()}
 	if err := d.Apply([]byte("{}")); err == nil {
-		t.Fatal("Apply must reject log records for a snapshot-only subsystem")
+		t.Fatal("Apply must reject a record carrying no mutation")
+	}
+	if err := d.Apply([]byte("not json")); err == nil {
+		t.Fatal("Apply must reject undecodable records")
+	}
+}
+
+// TestDurableMutationLogRoundTrip drives the full WAL path in-memory:
+// AttachLog captures mutation records, Apply replays them into fresh
+// registries, and the result matches the mutated originals — versions
+// included, with no change notifications during replay.
+func TestDurableMutationLogRoundTrip(t *testing.T) {
+	agents := NewAgentRegistry()
+	data := NewDataRegistry()
+	var wal [][]byte
+	Durable{Agents: agents, Data: data}.AttachLog(func(p []byte) error {
+		wal = append(wal, append([]byte(nil), p...))
+		return nil
+	})
+
+	spec := AgentSpec{Name: "NL2Q", Description: "compile NL to SQL", Cacheable: true}
+	if err := agents.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	spec.Description = "v2 desc"
+	if err := agents.Update(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agents.Derive("NL2Q", "NL2Q_FAST", "derived", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := agents.Register(AgentSpec{Name: "DOOMED", Description: "to be removed"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := agents.Deregister("DOOMED"); err != nil {
+		t.Fatal(err)
+	}
+	if err := data.Register(DataAsset{Name: "hr.jobs", Kind: KindRelational, Level: LevelTable, Description: "jobs"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := data.Touch("hr.jobs"); err != nil { // version bumps are NOT logged
+		t.Fatal(err)
+	}
+	// register + update + derive + register + deregister + asset register = 6.
+	if len(wal) != 6 {
+		t.Fatalf("wal records = %d, want 6 (Touch must not log)", len(wal))
+	}
+
+	agents2 := NewAgentRegistry()
+	data2 := NewDataRegistry()
+	notified := 0
+	agents2.OnChange(func(string) { notified++ })
+	replay := Durable{Agents: agents2, Data: data2}
+	for _, rec := range wal {
+		if err := replay.Apply(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if notified != 0 {
+		t.Fatalf("replay fired %d change notifications, want 0", notified)
+	}
+	got, err := agents2.Get("NL2Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 2 || got.Description != "v2 desc" {
+		t.Fatalf("replayed NL2Q = v%d %q, want v2 \"v2 desc\"", got.Version, got.Description)
+	}
+	if _, err := agents2.Get("NL2Q_FAST"); err != nil {
+		t.Fatal("derived agent missing after replay")
+	}
+	if _, err := agents2.Get("DOOMED"); err == nil {
+		t.Fatal("deregistered agent survived replay")
+	}
+	if _, err := data2.Get("hr.jobs"); err != nil {
+		t.Fatal("asset missing after replay")
+	}
+	// Replaying the removal again must stay a no-op (records can straddle
+	// snapshot boundaries).
+	if err := replay.Apply(wal[4]); err != nil {
+		t.Fatalf("re-applied removal errored: %v", err)
 	}
 }

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
+
+	"blueprint/internal/obs"
 )
 
 // Result is the outcome of a query.
@@ -128,6 +131,11 @@ func (db *DB) Run(st Statement, params ...any) (*Result, error) {
 // expects; the WAL record keeps the original SQL text and caller params —
 // replay re-fingerprints deterministically.
 func (db *DB) runLogged(sqlText string, st Statement, slot *planSlot, binder *paramBinder, params ...any) (*Result, error) {
+	mStatements.Inc()
+	if obs.On() {
+		start := time.Now()
+		defer mSQLLatency.ObserveSince(start)
+	}
 	vals := make([]Value, len(params))
 	for i, p := range params {
 		vals[i] = FromGo(p)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"blueprint/internal/obs"
 	"blueprint/internal/streams"
 )
 
@@ -49,11 +50,9 @@ func Flow(store *streams.Store, session string) []Step {
 			s.Op = m.Directive.Op
 			s.Agent = m.Directive.Agent
 		}
-		p := m.PayloadString()
-		if len(p) > 60 {
-			p = p[:60] + "..."
-		}
-		s.Payload = p
+		// Rune-safe: payloads carry user text, and a byte slice at 60
+		// could split a multi-byte UTF-8 character.
+		s.Payload = obs.Truncate(m.PayloadString(), 60)
 		out = append(out, s)
 	}
 	return out
@@ -91,6 +90,7 @@ func (m Matcher) Matches(s Step) bool {
 		for _, t := range s.Tags {
 			if t == m.Tag {
 				found = true
+				break
 			}
 		}
 		if !found {

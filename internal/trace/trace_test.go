@@ -3,6 +3,7 @@ package trace
 import (
 	"strings"
 	"testing"
+	"unicode/utf8"
 
 	"blueprint/internal/streams"
 )
@@ -47,6 +48,29 @@ func TestFlowExtraction(t *testing.T) {
 		if flow[i].TS <= flow[i-1].TS {
 			t.Fatal("flow not ordered")
 		}
+	}
+}
+
+func TestFlowTruncationIsRuneSafe(t *testing.T) {
+	s := streams.NewStore()
+	t.Cleanup(func() { s.Close() })
+	if _, err := s.CreateStream("sess:user", streams.StreamInfo{Session: "sess"}); err != nil {
+		t.Fatal(err)
+	}
+	// 4-byte runes positioned so a byte slice at 60 would land mid-rune.
+	payload := strings.Repeat("x", 59) + strings.Repeat("\U0001F600", 4)
+	if _, err := s.Append(streams.Message{
+		Stream: "sess:user", Kind: streams.Data, Sender: "user", Payload: payload,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	flow := Flow(s, "sess")
+	got := flow[0].Payload
+	if !strings.HasSuffix(got, "...") {
+		t.Fatalf("long payload not truncated: %q", got)
+	}
+	if !utf8.ValidString(got) {
+		t.Fatalf("truncation split a rune: %q", got)
 	}
 }
 

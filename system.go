@@ -13,6 +13,7 @@ import (
 	"blueprint/internal/hragents"
 	"blueprint/internal/llm"
 	"blueprint/internal/memo"
+	"blueprint/internal/obs"
 	"blueprint/internal/planner"
 	"blueprint/internal/registry"
 	"blueprint/internal/session"
@@ -147,7 +148,8 @@ func New(cfg Config) (*System, error) {
 			store.Close()
 			return nil, err
 		}
-		regErr := eng.Register(subRegistries, "registries", registry.Durable{Agents: agentReg, Data: dataReg})
+		durableReg := registry.Durable{Agents: agentReg, Data: dataReg}
+		regErr := eng.Register(subRegistries, "registries", durableReg)
 		if regErr == nil {
 			// Logical SQL replay is not idempotent: the relational engine
 			// logs through Engine.Log and snapshots under the barrier.
@@ -185,6 +187,12 @@ func New(cfg Config) (*System, error) {
 			_ = eng.Close()
 			return nil, err
 		}
+		// Registry mutations made from here on are WAL-logged, so a crash no
+		// longer loses post-snapshot registry changes. Attached strictly
+		// after Recover: boot-time registrations are deterministic (every
+		// start re-registers the same base set) and replayed records must
+		// not re-log themselves.
+		durableReg.AttachLog(eng.Logger(subRegistries).Append)
 		if cfg.SnapshotEvery > 0 {
 			eng.StartAutoSnapshot(cfg.SnapshotEvery)
 		}
@@ -211,6 +219,7 @@ func New(cfg Config) (*System, error) {
 		Enterprise:    ent,
 		Suite:         suite,
 	}
+	sys.registerInstruments()
 	return sys, nil
 }
 
@@ -320,7 +329,23 @@ func (sess *Session) Close() {
 // Ask posts a user utterance and waits for the next display output,
 // returning it. The architecture is fully asynchronous; Ask is the
 // convenience wrapper for request/response usage.
+//
+// Ask opens the session's root span: until the answer arrives, every
+// component the ask flows through — tag-triggered agents, the coordinator's
+// plan execution, scheduler steps, memo lookups, relational statements —
+// anchors its spans beneath it, so GET /trace/{session} (and bpctl trace)
+// shows the full timed tree of the ask.
 func (sess *Session) Ask(text string, timeout time.Duration) (string, error) {
+	sp := obs.Spans.StartRoot(sess.ID, "session", "ask")
+	sp.SetAttr("text", obs.Truncate(text, 80))
+	defer sp.End()
+	mAsks.Inc()
+	var started time.Time
+	if obs.On() {
+		started = time.Now()
+	}
+	defer mAskLatency.ObserveSince(started)
+
 	before := len(sess.Display())
 	if _, err := sess.PostUserText(text); err != nil {
 		return "", err
@@ -329,8 +354,10 @@ func (sess *Session) Ask(text string, timeout time.Duration) (string, error) {
 }
 
 // Click posts a UI event (e.g. selecting a job) and waits for the resulting
-// display output (Fig. 9).
+// display output (Fig. 9). Like Ask, it roots a span tree for the duration.
 func (sess *Session) Click(event map[string]any, timeout time.Duration) (string, error) {
+	sp := obs.Spans.StartRoot(sess.ID, "session", "click")
+	defer sp.End()
 	before := len(sess.Display())
 	if _, err := sess.PostUserEvent(event); err != nil {
 		return "", err
@@ -354,6 +381,9 @@ func (sess *Session) awaitDisplay(from int, substr string, timeout time.Duration
 // coordinator under a fresh budget. It returns the coordinator result (and
 // the plan used).
 func (sess *Session) ExecuteUtterance(text string) (*coordinator.Result, *planner.Plan, error) {
+	sp := obs.Spans.StartRoot(sess.ID, "session", "utterance")
+	sp.SetAttr("text", obs.Truncate(text, 80))
+	defer sp.End()
 	p, err := sess.sys.TaskPlanner.Plan(text)
 	if err != nil {
 		return nil, nil, err
