@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench bench-smoke fuzz ci
+.PHONY: all build test race vet fmt-check bench bench-smoke chaos fuzz ci
 
 all: build
 
@@ -54,8 +54,12 @@ fuzz:
 # are A9's shape-cache floors (>= 90% hit rate, >= 3x over exact keying on
 # literal-inlined statements) and A10's telemetry overhead ceiling
 # (instrumented asks within 5% of uninstrumented, full mode; the >= 4
-# span-component floor is enforced in every mode). CI runs this on every
-# push so regressions surface immediately.
+# span-component floor is enforced in every mode). A11 drives governed asks
+# with an open-loop multi-tenant workload at 0.5x and 2x admission capacity
+# and enforces its own floors in every mode: baseline sheds <= 20%, overload
+# sheds some-but-not-everything, degraded answers are marked and
+# freshness-valid, and no goroutines leak. CI runs this on every push so
+# regressions surface immediately.
 bench-smoke:
 	$(GO) run ./cmd/benchharness -fig A5 -short
 	$(GO) run ./cmd/benchharness -fig A6 -short
@@ -63,5 +67,15 @@ bench-smoke:
 	$(GO) run ./cmd/benchharness -fig A8 -short
 	$(GO) run ./cmd/benchharness -fig A9 -short
 	$(GO) run ./cmd/benchharness -fig A10 -short
+	$(GO) run ./cmd/benchharness -fig A11 -short
 
-ci: fmt-check vet build race bench-smoke
+# Chaos suite: every Chaos* test activates the deterministic fault injector
+# (injected errors, latency, hangs or crashes at the agent, relational and
+# durability sites) and asserts the system degrades instead of wedging —
+# retries absorb transient faults, breakers isolate persistent ones, asks
+# still answer or fail cleanly. Run under the race detector: fault paths are
+# where concurrency bugs hide.
+chaos:
+	$(GO) test -race -run Chaos ./...
+
+ci: fmt-check vet build race chaos bench-smoke

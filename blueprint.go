@@ -86,6 +86,7 @@ import (
 	"blueprint/internal/budget"
 	"blueprint/internal/llm"
 	"blueprint/internal/optimizer"
+	"blueprint/internal/resilience"
 	"blueprint/internal/workload"
 )
 
@@ -141,6 +142,32 @@ type Config struct {
 	// DisableStandardAgents skips spawning the case-study agents in new
 	// sessions (for applications registering only their own agents).
 	DisableStandardAgents bool
+	// Retry is the coordinator's per-step retry policy: failed executions
+	// retry with exponential backoff + jitter, every backoff charged
+	// against the plan's latency budget so retries can never blow the
+	// deadline (default resilience.DefaultRetryPolicy; MaxAttempts 1
+	// disables retrying).
+	Retry resilience.RetryPolicy
+	// Breaker configures the per-agent circuit breakers the scheduler
+	// consults before every dispatch (zero value = resilience defaults).
+	Breaker resilience.BreakerConfig
+	// DisableBreakers turns per-agent circuit breaking off entirely.
+	DisableBreakers bool
+	// Governor bounds concurrent governed asks (Session.GovernedAsk, the
+	// blueprintd ask endpoint): a global in-flight slot pool with a
+	// bounded fair-share wait queue and load shedding. The zero value
+	// (MaxConcurrent 0) disables admission control.
+	Governor resilience.GovernorConfig
+	// Degrade controls graceful degradation: when a breaker is open or
+	// the governor sheds, a stale memoized result within StaleFactor x
+	// the declared freshness may be served, marked Degraded, instead of
+	// failing (zero value = StaleFactor 4; Disabled turns it off).
+	Degrade resilience.DegradePolicy
+	// AskFreshness is the freshness tolerance attached to memoized
+	// ask-level answers, bounding how stale a degraded answer served
+	// during overload may be (default 30s; with the default StaleFactor
+	// a shed ask may be answered from a result up to 2m old).
+	AskFreshness time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -159,6 +186,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Objectives == (optimizer.Objectives{}) {
 		c.Objectives = optimizer.DefaultObjectives()
+	}
+	if c.Retry == (resilience.RetryPolicy{}) {
+		c.Retry = resilience.DefaultRetryPolicy()
+	}
+	if c.AskFreshness <= 0 {
+		c.AskFreshness = 30 * time.Second
 	}
 	return c
 }

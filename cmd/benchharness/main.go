@@ -11,6 +11,7 @@
 //	benchharness -fig A8      # durability: crash replay vs snapshot restore + warm memo across restart
 //	benchharness -fig A9      # front end: shape-keyed plan cache vs exact keying on literal-inlined SQL
 //	benchharness -fig A10     # observability: instrumented vs uninstrumented ask throughput
+//	benchharness -fig A11     # resilience: overload control under open-loop multi-tenant load
 //	benchharness -seed 7      # change the deterministic seed
 //	benchharness -short       # reduced iterations/latencies (smoke mode, used by make bench-smoke)
 package main
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment id to run (F1..F10, A1..A10, or 'all')")
+	fig := flag.String("fig", "all", "experiment id to run (F1..F10, A1..A11, or 'all')")
 	seed := flag.Int64("seed", 42, "deterministic seed for workloads and the simulated LLM")
 	short := flag.Bool("short", false, "smoke mode: reduced iterations and simulated latencies")
 	flag.Parse()
@@ -52,6 +53,7 @@ func main() {
 		"A8":  experiments.AblationDurability,
 		"A9":  experiments.FrontendShapeCache,
 		"A10": experiments.AblationObservability,
+		"A11": experiments.AblationResilience,
 	}
 
 	if strings.EqualFold(*fig, "all") {
@@ -66,7 +68,7 @@ func main() {
 	}
 	run, ok := runners[strings.ToUpper(*fig)]
 	if !ok {
-		log.Fatalf("unknown experiment %q (want F1..F10, A1..A10, all)", *fig)
+		log.Fatalf("unknown experiment %q (want F1..F10, A1..A11, all)", *fig)
 	}
 	t, err := run(*seed)
 	if err != nil {

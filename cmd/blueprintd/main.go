@@ -28,6 +28,15 @@
 // memo entries and stream history instead of coming back cold. SIGINT and
 // SIGTERM shut down gracefully: in-flight requests drain, a final snapshot
 // is flushed and the log closes cleanly.
+//
+// Overload control: -max-concurrent bounds in-flight asks globally (0 =
+// ungoverned); beyond it asks queue (bounded by -max-queue, waiting at most
+// -queue-timeout) and then shed with HTTP 429 + Retry-After. Tenants are
+// identified by the X-Tenant header ("default" when absent) and capped to a
+// -tenant-share fraction of the slots under contention. A shed repeat ask
+// within the staleness budget is answered from the memoized previous answer,
+// marked "degraded": true. -read-timeout, -write-timeout and -idle-timeout
+// bound the HTTP connection itself (slowloris defense).
 package main
 
 import (
@@ -36,9 +45,11 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -46,6 +57,7 @@ import (
 
 	"blueprint"
 	"blueprint/internal/obs"
+	"blueprint/internal/resilience"
 )
 
 type server struct {
@@ -70,12 +82,24 @@ func main() {
 	memoCap := flag.Int("memo", 0, "step-result memoization cache capacity in entries (0 = default)")
 	noMemo := flag.Bool("no-memo", false, "disable step-result memoization")
 	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof handlers under /debug/pprof/")
+	maxConc := flag.Int("max-concurrent", 0, "max in-flight asks before queueing/shedding (0 = ungoverned)")
+	maxQueue := flag.Int("max-queue", 0, "max asks waiting for a slot before immediate shed (0 = 2x max-concurrent)")
+	queueTO := flag.Duration("queue-timeout", time.Second, "max time a queued ask waits before it is shed")
+	tenantShare := flag.Float64("tenant-share", 0.5, "fraction of slots one tenant may hold under contention")
+	readTO := flag.Duration("read-timeout", 30*time.Second, "max time to read a request, headers included (slowloris bound)")
+	writeTO := flag.Duration("write-timeout", 60*time.Second, "max time to write a response")
+	idleTO := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
 	flag.Parse()
 
 	sys, err := blueprint.New(blueprint.Config{
 		Seed: *seed, ModelAccuracy: 1.0, WALPath: *walPath,
 		DataDir: *dataDir, SnapshotEvery: *snapEvery,
 		MaxParallel: *parallel, MemoCapacity: *memoCap, DisableMemo: *noMemo,
+		Governor: resilience.GovernorConfig{
+			MaxConcurrent: *maxConc, MaxQueue: *maxQueue,
+			QueueTimeout: *queueTO, TenantShare: *tenantShare,
+			RetryAfter: *queueTO,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -111,7 +135,19 @@ func main() {
 	log.Printf("blueprintd %s listening on %s (agents=%d, data assets=%d)",
 		blueprint.Version, *addr, sys.AgentRegistry.Len(), sys.DataRegistry.Len())
 
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	if *maxConc > 0 {
+		log.Printf("overload governor on: max_concurrent=%d max_queue=%d queue_timeout=%s tenant_share=%.2f",
+			*maxConc, *maxQueue, *queueTO, *tenantShare)
+	}
+	// Connection-level timeouts: a client trickling bytes (slowloris) is cut
+	// off instead of pinning a goroutine and an admission slot forever.
+	srv := &http.Server{
+		Addr: *addr, Handler: mux,
+		ReadTimeout:       *readTO,
+		ReadHeaderTimeout: *readTO,
+		WriteTimeout:      *writeTO,
+		IdleTimeout:       *idleTO,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -187,12 +223,33 @@ func (s *server) ask(w http.ResponseWriter, r *http.Request) {
 	if body.Timeout > 0 {
 		timeout = time.Duration(body.Timeout) * time.Millisecond
 	}
-	answer, err := sess.Ask(body.Text, timeout)
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	ans, err := sess.GovernedAsk(r.Context(), tenant, body.Text, timeout)
 	if err != nil {
+		var ov *resilience.OverloadError
+		if errors.As(err, &ov) {
+			// Shed: 429 with the governor's advisory backoff. Retry-After
+			// is whole seconds (RFC 9110), rounded up so "1s" never
+			// becomes "0".
+			secs := int(math.Ceil(ov.RetryAfter.Seconds()))
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error": err.Error(), "retry_after_ms": ov.RetryAfter.Milliseconds(),
+			})
+			return
+		}
 		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"answer": answer})
+	out := map[string]any{"answer": ans.Text}
+	if ans.Degraded {
+		out["degraded"] = true
+		out["stale_for_ms"] = ans.StaleFor.Milliseconds()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) click(w http.ResponseWriter, r *http.Request) {
@@ -248,10 +305,16 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	sessions := len(s.mu.sessions)
 	s.mu.RUnlock()
 	ds := s.sys.DurabilityStats()
+	breakers := map[string]string{}
+	for name, st := range s.sys.BreakerStates() {
+		breakers[name] = st.String()
+	}
 	out := map[string]any{
 		"version": blueprint.Version, "sessions": sessions,
 		"memo_hit_rate":                 ms.HitRate(),
 		"stmt_cache_hit_rate":           cs.HitRate(),
+		"governor_enabled":              s.sys.Governor != nil,
+		"breakers":                      breakers,
 		"durability_enabled":            s.sys.Durability != nil,
 		"durability_segments":           ds.Segments,
 		"durability_last_recovery":      ds.Recovery.Duration.String(),

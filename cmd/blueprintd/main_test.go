@@ -9,11 +9,17 @@ import (
 	"time"
 
 	"blueprint"
+	"blueprint/internal/resilience"
 )
 
 func newTestServer(t *testing.T) (*server, *http.ServeMux) {
 	t.Helper()
-	sys, err := blueprint.New(blueprint.Config{ModelAccuracy: 1.0})
+	return newTestServerCfg(t, blueprint.Config{ModelAccuracy: 1.0})
+}
+
+func newTestServerCfg(t *testing.T, cfg blueprint.Config) (*server, *http.ServeMux) {
+	t.Helper()
+	sys, err := blueprint.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,6 +222,103 @@ func TestTraceOverHTTP(t *testing.T) {
 		if !components[c] {
 			t.Fatalf("trace missing component %q (got %v)\n%s", c, components, tree)
 		}
+	}
+}
+
+// TestOverloadShedAndDegradeOverHTTP pins the daemon's overload contract:
+// with a single governed slot occupied, a same-tenant repeat ask is served
+// from the stale whole-ask memo (200 + "degraded": true) and a novel ask is
+// shed with 429 + Retry-After. MaxConcurrent 1 with the default 0.5 tenant
+// share makes the shed deterministic — the share clamps to one slot, and a
+// tenant already holding its share sheds immediately under contention
+// instead of queueing.
+func TestOverloadShedAndDegradeOverHTTP(t *testing.T) {
+	s, mux := newTestServerCfg(t, blueprint.Config{
+		ModelAccuracy: 1.0,
+		Governor:      resilience.GovernorConfig{MaxConcurrent: 1, RetryAfter: 2 * time.Second},
+	})
+	_, out := do(t, mux, "POST", "/sessions", "")
+	id := strings.TrimPrefix(out["id"].(string), "session:")
+
+	// Baseline ask: admitted (slot free) and memoized for the degraded path.
+	const repeat = `{"text": "How many jobs are in San Francisco?"}`
+	rec, out := do(t, mux, "POST", "/sessions/"+id+"/ask", repeat)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("baseline ask = %d %s", rec.Code, rec.Body)
+	}
+	if _, ok := out["degraded"]; ok {
+		t.Fatalf("baseline ask marked degraded: %v", out)
+	}
+
+	// Slow agent invocations down so a holder ask keeps the slot occupied
+	// long enough to observe the brownout.
+	inj := resilience.NewInjector(1, resilience.Rule{
+		Site: resilience.SiteAgent, Kind: resilience.KindLatency,
+		Probability: 1, Latency: 300 * time.Millisecond,
+	})
+	resilience.Activate(inj)
+	defer resilience.Deactivate()
+	holder := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		req := httptest.NewRequest("POST", "/sessions/"+id+"/ask",
+			strings.NewReader(`{"text": "Summarize the applicants for job 3"}`))
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		holder <- rec
+	}()
+	for deadline := time.Now().Add(10 * time.Second); s.sys.GovernorStats().InFlight == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("holder ask never occupied the governor slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Repeat text while the slot is held: shed, but the stale memo answer is
+	// served, marked degraded with its age.
+	rec, out = do(t, mux, "POST", "/sessions/"+id+"/ask", repeat)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("degraded ask = %d %s", rec.Code, rec.Body)
+	}
+	if out["degraded"] != true {
+		t.Fatalf("shed repeat ask not marked degraded: %v", out)
+	}
+	if _, ok := out["stale_for_ms"]; !ok {
+		t.Fatalf("degraded answer missing stale_for_ms: %v", out)
+	}
+	if ans, _ := out["answer"].(string); !strings.Contains(ans, "Summary:") {
+		t.Fatalf("degraded answer = %v", out)
+	}
+
+	// Novel text while the slot is held: nothing stale to serve — 429 with
+	// the governor's advisory backoff in whole seconds.
+	rec, out = do(t, mux, "POST", "/sessions/"+id+"/ask",
+		`{"text": "average salary per city for salary over 120000"}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("novel ask under overload = %d %s", rec.Code, rec.Body)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+	if ms, _ := out["retry_after_ms"].(float64); ms != 2000 {
+		t.Fatalf("retry_after_ms = %v", out)
+	}
+
+	resilience.Deactivate()
+	if hrec := <-holder; hrec.Code != http.StatusOK {
+		t.Fatalf("holder ask = %d %s", hrec.Code, hrec.Body)
+	}
+
+	// Slot free again: the same repeat ask is admitted and served fresh.
+	rec, out = do(t, mux, "POST", "/sessions/"+id+"/ask", repeat)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-brownout ask = %d %s", rec.Code, rec.Body)
+	}
+	if _, ok := out["degraded"]; ok {
+		t.Fatalf("post-brownout ask still degraded: %v", out)
+	}
+	st := s.sys.GovernorStats()
+	if st.Admitted < 3 || st.Shed < 2 || st.TenantShed < 2 {
+		t.Fatalf("governor ledger = %+v, want >= 3 admitted, >= 2 shed (tenant share)", st)
 	}
 }
 

@@ -280,6 +280,20 @@ func remoteTop(addr string) error {
 	fmt.Printf("sessions  open=%.0f  durability appends=%.0f fsyncs=%.0f\n",
 		num(second, "blueprint_sessions_open"),
 		num(second, "blueprint_durability_appends_total"), num(second, "blueprint_durability_fsyncs_total"))
+	// Resilience: admission ledger, degraded serves, breaker state. During a
+	// brownout this is the line to watch — shed climbing, degraded absorbing
+	// repeat asks, breakers_open isolating failing agents.
+	admitted, shed := num(second, "blueprint_governor_admitted_total"), num(second, "blueprint_governor_shed_total")
+	fmt.Printf("resil     admitted=%.0f shed=%.0f (tenant=%.0f timeout=%.0f) degraded=%.0f inflight=%.0f queued=%.0f shed_ratio=%s\n",
+		admitted, shed,
+		num(second, "blueprint_governor_tenant_shed_total"), num(second, "blueprint_governor_queue_timeouts_total"),
+		num(second, "blueprint_degraded_answers_total"),
+		num(second, "blueprint_governor_inflight"), num(second, "blueprint_governor_queued"),
+		ratio(shed, admitted+shed))
+	fmt.Printf("          retries=%.0f breaker trips=%.0f rejections=%.0f open_now=%.0f stale_steps=%.0f\n",
+		num(second, "blueprint_scheduler_step_retries_total"),
+		num(second, "blueprint_breaker_trips_total"), num(second, "blueprint_breaker_rejections_total"),
+		num(second, "blueprint_breakers_open"), num(second, "blueprint_scheduler_steps_degraded_total"))
 	return nil
 }
 

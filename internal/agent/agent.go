@@ -47,6 +47,12 @@ type Invocation struct {
 	// the runtime resumes the span tree under it. Empty for decentralized
 	// (tag-triggered) activations, which anchor to the session's active root.
 	TraceParent string
+	// Deadline is the caller's absolute completion deadline (zero = none),
+	// carried in the EXECUTE_AGENT directive as "deadline_ms". The runtime
+	// bounds the processor context at min(Options.Timeout, time until
+	// Deadline), so a plan with little latency budget left cannot have one
+	// step run for the full default timeout.
+	Deadline time.Time
 }
 
 // Usage reports the QoS actuals of one invocation, folded into the session

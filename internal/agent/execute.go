@@ -1,6 +1,8 @@
 package agent
 
 import (
+	"time"
+
 	"blueprint/internal/streams"
 )
 
@@ -18,6 +20,16 @@ func Execute(store *streams.Store, session, agentName string, inputs map[string]
 // arg, so the consuming runtime can resume the caller's span tree across
 // the stream boundary.
 func ExecuteTraced(store *streams.Store, session, agentName string, inputs map[string]any, replyStream, invocationID, traceParent string) error {
+	return ExecuteDeadline(store, session, agentName, inputs, replyStream, invocationID, traceParent, time.Time{})
+}
+
+// ExecuteDeadline is ExecuteTraced with a completion deadline: a non-zero
+// deadline rides the directive as "deadline_ms" (absolute Unix
+// milliseconds — JSON-safe across the stream/durability boundary), and the
+// consuming runtime bounds the processor at min(its own timeout, time until
+// the deadline). The scheduler derives it from the plan's remaining latency
+// budget.
+func ExecuteDeadline(store *streams.Store, session, agentName string, inputs map[string]any, replyStream, invocationID, traceParent string, deadline time.Time) error {
 	if _, err := store.EnsureStream(ControlStream(session), streams.StreamInfo{Session: session}); err != nil {
 		return err
 	}
@@ -30,6 +42,9 @@ func ExecuteTraced(store *streams.Store, session, agentName string, inputs map[s
 	}
 	if traceParent != "" {
 		args["trace_parent"] = traceParent
+	}
+	if !deadline.IsZero() {
+		args["deadline_ms"] = float64(deadline.UnixMilli())
 	}
 	_, err := store.Append(streams.Message{
 		Stream: ControlStream(session),

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"blueprint/internal/obs"
+	"blueprint/internal/resilience"
 	"blueprint/internal/streams"
 )
 
@@ -68,6 +69,12 @@ type Instance struct {
 	costTotal   float64
 	nextInv     atomic.Int64
 	stopOnce    sync.Once
+
+	// live tracks the cancel funcs of in-flight invocations so ABORT
+	// directives (session-wide, or targeted via an invocation_id arg) stop
+	// running processor work instead of letting it burn its full timeout.
+	liveMu sync.Mutex
+	live   map[string]context.CancelFunc
 }
 
 // Attach starts an agent instance in a session: it subscribes to the
@@ -97,6 +104,7 @@ func Attach(store *streams.Store, session string, a *Agent, opts Options) (*Inst
 		opts:    opts,
 		petri:   newPetriNet(params, PolicyFromSpec(a.Spec)),
 		sem:     make(chan struct{}, opts.Workers),
+		live:    make(map[string]context.CancelFunc),
 	}
 
 	for _, id := range []string{ControlStream(session), SessionStream(session), DisplayStream(session), OutputStream(session, a.Spec.Name)} {
@@ -186,11 +194,25 @@ func (in *Instance) Stop() {
 	})
 }
 
-// controlLoop serves EXECUTE_AGENT directives addressed to this agent.
+// controlLoop serves EXECUTE_AGENT directives addressed to this agent and
+// ABORT directives cancelling in-flight work.
 func (in *Instance) controlLoop() {
 	for msg := range in.ctrlSub.C() {
 		d := msg.Directive
-		if d == nil || d.Op != streams.OpExecuteAgent || d.Agent != in.agent.Spec.Name {
+		if d == nil {
+			continue
+		}
+		if d.Op == streams.OpAbort && (d.Agent == "" || d.Agent == in.agent.Spec.Name) {
+			// Targeted abort (invocation_id arg) cancels one invocation;
+			// a bare abort cancels everything in flight.
+			if id, _ := d.Args["invocation_id"].(string); id != "" {
+				in.cancelInvocation(id)
+			} else {
+				in.cancelAll()
+			}
+			continue
+		}
+		if d.Op != streams.OpExecuteAgent || d.Agent != in.agent.Spec.Name {
 			continue
 		}
 		inputs := map[string]any{}
@@ -205,6 +227,10 @@ func (in *Instance) controlLoop() {
 		if invID == "" {
 			invID = fmt.Sprintf("%s-%d", in.agent.Spec.Name, in.nextInv.Add(1))
 		}
+		var deadline time.Time
+		if ms, ok := d.Args["deadline_ms"].(float64); ok && ms > 0 {
+			deadline = time.UnixMilli(int64(ms))
+		}
 		in.dispatch(Invocation{
 			Session:      msg.Session,
 			Inputs:       inputs,
@@ -212,7 +238,32 @@ func (in *Instance) controlLoop() {
 			ReplyStream:  reply,
 			InvocationID: invID,
 			TraceParent:  traceParent,
+			Deadline:     deadline,
 		})
+	}
+}
+
+// cancelInvocation cancels one in-flight invocation by ID (no-op when it is
+// not running here).
+func (in *Instance) cancelInvocation(id string) {
+	in.liveMu.Lock()
+	cancel := in.live[id]
+	in.liveMu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// cancelAll cancels every in-flight invocation on this instance.
+func (in *Instance) cancelAll() {
+	in.liveMu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(in.live))
+	for _, c := range in.live {
+		cancels = append(cancels, c)
+	}
+	in.liveMu.Unlock()
+	for _, c := range cancels {
+		c()
 	}
 }
 
@@ -283,10 +334,45 @@ func (in *Instance) run(inv Invocation) {
 		inv.Session = in.session
 	}
 	in.fillDefaults(&inv)
-	ctx, cancel := context.WithTimeout(context.Background(), in.opts.Timeout)
-	defer cancel()
-
 	name := in.agent.Spec.Name
+
+	// The processor context is bounded by min(instance timeout, time until
+	// the caller's deadline): a plan nearly out of latency budget must not
+	// have one step run for the full default timeout. The cancel func is
+	// registered under the invocation ID so ABORT directives stop the work.
+	timeout := in.opts.Timeout
+	if !inv.Deadline.IsZero() {
+		if rem := time.Until(inv.Deadline); rem < timeout {
+			timeout = rem
+		}
+	}
+	if timeout <= 0 {
+		// Dead on arrival: report without invoking the processor.
+		in.invocations.Add(1)
+		mInvocations.Inc()
+		in.errs.Add(1)
+		mInvErrors.Inc()
+		_, _ = in.store.Append(streams.Message{
+			Stream: ControlStream(in.session), Kind: streams.Control, Sender: name,
+			Directive: &streams.Directive{Op: OpAgentError, Agent: name, Args: map[string]any{
+				"invocation_id": inv.InvocationID,
+				"error":         context.DeadlineExceeded.Error(),
+			}},
+		})
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if inv.InvocationID != "" {
+		in.liveMu.Lock()
+		in.live[inv.InvocationID] = cancel
+		in.liveMu.Unlock()
+		defer func() {
+			in.liveMu.Lock()
+			delete(in.live, inv.InvocationID)
+			in.liveMu.Unlock()
+		}()
+	}
 	// Resume the caller's trace across the stream boundary (centralized
 	// activation carries a trace_parent token); tag-triggered activations
 	// anchor beneath the session's active root, or trace nothing when no
@@ -298,7 +384,13 @@ func (in *Instance) run(inv Invocation) {
 	defer sp.End()
 
 	start := time.Now()
-	out, err := in.agent.Process(ctx, inv)
+	// Fault-injection hook: when a chaos injector is active the invocation
+	// may error, stall, or crash here instead of running the processor.
+	var out Outputs
+	err := resilience.Check(ctx, resilience.SiteAgent)
+	if err == nil {
+		out, err = in.agent.Process(ctx, inv)
+	}
 	elapsed := time.Since(start)
 	in.invocations.Add(1)
 	mInvocations.Inc()

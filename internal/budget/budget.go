@@ -22,6 +22,7 @@ var (
 	mCommits           = obs.Default.Counter("blueprint_budget_commits_total", "reservations committed with step actuals")
 	mReleases          = obs.Default.Counter("blueprint_budget_releases_total", "reservations released without charging (failed or cancelled steps)")
 	mMemoCharges       = obs.Default.Counter("blueprint_budget_memo_charges_total", "steps charged as memo hits (zero cost and latency)")
+	mRetryCharges      = obs.Default.Counter("blueprint_budget_retry_backoff_charges_total", "retry backoff sleeps charged against latency budgets")
 )
 
 // Limits are the QoS constraints of one task execution.
@@ -83,6 +84,7 @@ type Budget struct {
 	accWeight       float64
 	charges         int
 	memoHits        int
+	retries         int
 	violations      []Violation
 }
 
@@ -158,6 +160,30 @@ func (b *Budget) ChargeMemoHit(step string, accuracy float64) []Violation {
 	b.memoHits++
 	mMemoCharges.Inc()
 	return b.chargeLocked(step, 0, 0, accuracy)
+}
+
+// ChargeRetryBackoff charges a retry's backoff sleep against the latency
+// budget: a plan that retries pays for its own waiting, so retries can never
+// push an execution past its declared latency SLO unnoticed. No cost is
+// charged (a sleep invokes no agent) and the charge does not count toward
+// Charges; it surfaces as Report.Retries. Returns the violations the charge
+// caused — a plan out of latency headroom learns here to stop retrying.
+func (b *Budget) ChargeRetryBackoff(step string, backoff time.Duration) []Violation {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.retries++
+	mRetryCharges.Inc()
+	b.latency += backoff
+	var out []Violation
+	if b.limits.MaxLatency > 0 && b.latency > b.limits.MaxLatency {
+		out = append(out, Violation{
+			Dimension: DimLatency, Step: step,
+			Actual: b.latency.String(),
+			Limit:  b.limits.MaxLatency.String(),
+		})
+	}
+	b.violations = append(b.violations, out...)
+	return out
 }
 
 // Reservation holds pre-authorized cost/latency headroom for one in-flight
@@ -297,7 +323,9 @@ type Report struct {
 	Accuracy  float64 // running estimate; 0 when unknown
 	Charges   int
 	// MemoHits counts charges that were memoization hits (zero cost/latency).
-	MemoHits     int
+	MemoHits int
+	// Retries counts retry backoff sleeps charged to the latency budget.
+	Retries      int
 	Violations   []Violation
 	CostLimit    float64
 	LatencyLimit time.Duration
@@ -318,6 +346,7 @@ func (b *Budget) Snapshot() Report {
 		Accuracy:        acc,
 		Charges:         b.charges,
 		MemoHits:        b.memoHits,
+		Retries:         b.retries,
 		Violations:      append([]Violation(nil), b.violations...),
 		CostLimit:       b.limits.MaxCost,
 		LatencyLimit:    b.limits.MaxLatency,

@@ -292,3 +292,27 @@ func TestChargeMemoHitAccuracyStillCounts(t *testing.T) {
 		t.Fatal("expected recorded violation")
 	}
 }
+
+func TestChargeRetryBackoff(t *testing.T) {
+	b := New(Limits{MaxLatency: 100 * time.Millisecond})
+	if vs := b.ChargeRetryBackoff("s1:A", 40*time.Millisecond); len(vs) != 0 {
+		t.Fatalf("within-budget backoff violated: %v", vs)
+	}
+	if _, rem := b.Remaining(); rem != 60*time.Millisecond {
+		t.Fatalf("remaining latency = %s, want 60ms", rem)
+	}
+	vs := b.ChargeRetryBackoff("s1:A", 80*time.Millisecond)
+	if len(vs) != 1 || vs[0].Dimension != DimLatency {
+		t.Fatalf("overshooting backoff: %v", vs)
+	}
+	rep := b.Snapshot()
+	if rep.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", rep.Retries)
+	}
+	if rep.Charges != 0 {
+		t.Fatalf("backoff counted as a step charge: %d", rep.Charges)
+	}
+	if rep.CostSpent != 0 {
+		t.Fatalf("backoff charged cost: %v", rep.CostSpent)
+	}
+}

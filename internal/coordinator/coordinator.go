@@ -71,6 +71,7 @@ import (
 	"blueprint/internal/optimizer"
 	"blueprint/internal/planner"
 	"blueprint/internal/registry"
+	"blueprint/internal/resilience"
 	"blueprint/internal/streams"
 )
 
@@ -82,6 +83,8 @@ var (
 	mStepsCached = obs.Default.Counter("blueprint_scheduler_steps_cached_total", "plan steps satisfied from the memoization store")
 	mBusyWorkers = obs.Default.Gauge("blueprint_scheduler_busy_workers", "scheduler workers currently executing a step")
 	mStepLatency = obs.Default.Histogram("blueprint_step_latency_seconds", "wall time of one scheduled step, admission to commit", obs.LatencyBuckets)
+	mStepRetries = obs.Default.Counter("blueprint_scheduler_step_retries_total", "same-agent step retries dispatched under the retry policy")
+	mStepsStale  = obs.Default.Counter("blueprint_scheduler_steps_degraded_total", "plan steps answered from stale memo entries while the agent's breaker was open")
 )
 
 // Coordinator errors.
@@ -124,6 +127,22 @@ type Options struct {
 	// Cacheable agents are reused (and concurrent identical executions
 	// deduplicated) through this store. nil disables memoization.
 	Memo *memo.Store
+	// Retry is the same-agent retry policy for failed step executions:
+	// transient errors (resilience.Retryable) retry with exponential
+	// backoff, every backoff sleep charged against the plan's latency
+	// budget. The zero value disables same-agent retries (one attempt);
+	// replan fallback (RetryOnError) still applies afterwards.
+	Retry resilience.RetryPolicy
+	// Breakers, when set, gates every step dispatch through the target
+	// agent's circuit breaker and records each execution outcome. An open
+	// breaker rejects the dispatch; the step is then served degraded from a
+	// stale memo entry (Degrade permitting) or replanned to an alternative
+	// agent.
+	Breakers *resilience.Set
+	// Degrade rules the stale-memo degraded serve used when a breaker is
+	// open: a resident entry whose age is within the policy's bound of the
+	// agent's declared Freshness answers the step, marked Degraded.
+	Degrade resilience.DegradePolicy
 }
 
 // Coordinator executes task plans over a stream store.
@@ -157,6 +176,12 @@ type StepResult struct {
 	// store (a cache hit or a coalesced share of a concurrent identical
 	// execution) rather than executed; Cost and Latency are then zero.
 	Cached bool
+	// Degraded reports a graceful-degradation serve: the agent's breaker
+	// was open and the step was answered from a stale memo entry whose age
+	// (StaleFor) the degradation policy judged freshness-valid.
+	Degraded bool
+	// StaleFor is the age of the stale entry served (Degraded only).
+	StaleFor time.Duration
 }
 
 // Result is the outcome of one plan execution.
@@ -175,6 +200,12 @@ type Result struct {
 	AbortReason string
 	// Replans counts replanning events.
 	Replans int
+	// Retries counts same-agent step retries dispatched under the retry
+	// policy (each also charged its backoff in Budget.Retries).
+	Retries int
+	// Degraded reports that at least one step was answered from a stale
+	// memo entry (see StepResult.Degraded).
+	Degraded bool
 }
 
 // ExecutePlan runs the plan within the session, charging b for every step.
@@ -321,13 +352,46 @@ func (c *Coordinator) transform(transform, text string) (string, dataplan.Estima
 	return out.Text, out.Usage, nil
 }
 
+// stepDeadline derives one attempt's absolute completion deadline:
+// StepTimeout, tightened to the plan's remaining latency headroom when a
+// latency limit is set — a plan nearly out of budget must not let one step
+// run for the full default timeout. The deadline rides the EXECUTE_AGENT
+// directive, so the agent runtime bounds the processor context to it too.
+func (c *Coordinator) stepDeadline(b *budget.Budget) time.Time {
+	wait := c.opts.StepTimeout
+	if b != nil && b.Limits().MaxLatency > 0 {
+		if _, rem := b.Remaining(); rem < wait {
+			wait = rem
+		}
+	}
+	return time.Now().Add(wait)
+}
+
+// abortInvocation emits a targeted ABORT for one invocation so the agent
+// runtime cancels that in-flight processor call (a step that timed out or
+// was cancelled must not keep burning agent work).
+func (c *Coordinator) abortInvocation(session, invID string) {
+	_, _ = c.store.Append(streams.Message{
+		Stream: agent.ControlStream(session), Kind: streams.Control, Sender: "coordinator",
+		Directive: &streams.Directive{Op: streams.OpAbort, Args: map[string]any{"invocation_id": invID}},
+	})
+}
+
 // executeStep streams an EXECUTE_AGENT instruction and awaits its DONE or
 // ERROR report, collecting outputs from the step's reply stream. The wait
-// aborts when ctx is cancelled (plan-level abort or failure elsewhere).
-func (c *Coordinator) executeStep(ctx context.Context, session string, p *planner.Plan, step planner.Step, inputs map[string]any) (StepResult, error) {
+// aborts when ctx is cancelled (plan-level abort or failure elsewhere) or
+// the deadline passes; either way a targeted ABORT stops the in-flight
+// invocation. attempt distinguishes retries of one step (each needs a
+// distinct invocation ID and reply stream, or a retry would consume the
+// failed attempt's stale reports).
+func (c *Coordinator) executeStep(ctx context.Context, session string, p *planner.Plan, step planner.Step, inputs map[string]any, deadline time.Time, attempt int) (StepResult, error) {
 	sr := StepResult{StepID: step.ID, Agent: step.Agent, Outputs: map[string]any{}}
 	replyStream := fmt.Sprintf("%s:%s:%s", session, p.ID, step.ID)
 	invID := fmt.Sprintf("%s-%s", p.ID, step.ID)
+	if attempt > 1 {
+		replyStream = fmt.Sprintf("%s:a%d", replyStream, attempt)
+		invID = fmt.Sprintf("%s-a%d", invID, attempt)
+	}
 
 	// Subscribe to control reports before issuing the instruction.
 	ctrl := c.store.Subscribe(streams.Filter{
@@ -336,11 +400,12 @@ func (c *Coordinator) executeStep(ctx context.Context, session string, p *planne
 	}, false)
 	defer ctrl.Cancel()
 
-	if err := agent.ExecuteTraced(c.store, session, step.Agent, inputs, replyStream, invID, obs.FromContext(ctx).Token()); err != nil {
+	if err := agent.ExecuteDeadline(c.store, session, step.Agent, inputs, replyStream, invID, obs.FromContext(ctx).Token(), deadline); err != nil {
 		return sr, err
 	}
 
-	timeout := time.After(c.opts.StepTimeout)
+	wait := time.Until(deadline)
+	timeout := time.After(wait)
 	for {
 		select {
 		case msg, ok := <-ctrl.C():
@@ -375,11 +440,13 @@ func (c *Coordinator) executeStep(ctx context.Context, session string, p *planne
 				return sr, nil
 			}
 		case <-ctx.Done():
+			c.abortInvocation(session, invID)
 			sr.Err = "cancelled"
 			return sr, fmt.Errorf("step %s cancelled: %w", step.ID, ctx.Err())
 		case <-timeout:
+			c.abortInvocation(session, invID)
 			sr.Err = "timeout"
-			return sr, fmt.Errorf("%w: %s after %s", ErrStepTimeout, step.ID, c.opts.StepTimeout)
+			return sr, fmt.Errorf("%w: %s after %s", ErrStepTimeout, step.ID, wait.Truncate(time.Millisecond))
 		}
 	}
 }

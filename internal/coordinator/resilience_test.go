@@ -1,0 +1,309 @@
+package coordinator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"blueprint/internal/agent"
+	"blueprint/internal/budget"
+	"blueprint/internal/memo"
+	"blueprint/internal/planner"
+	"blueprint/internal/registry"
+	"blueprint/internal/resilience"
+	"blueprint/internal/streams"
+)
+
+// registerProc registers spec and attaches an instance running proc.
+func registerProc(t testing.TB, store *streams.Store, reg *registry.AgentRegistry, spec registry.AgentSpec, proc agent.Processor) {
+	t.Helper()
+	if err := reg.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := agent.Attach(store, sess, agent.New(spec, proc), agent.Options{DisableListen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inst.Stop)
+}
+
+func singleStepPlan(id, agentName string) *planner.Plan {
+	return &planner.Plan{
+		ID: id, Utterance: "go", Intent: "rank",
+		Steps: []planner.Step{{
+			ID: "s1", Agent: agentName, Task: "do the work",
+			Bindings: map[string]planner.Binding{"CRITERIA": {FromUserText: true}},
+		}},
+	}
+}
+
+func TestRetryPolicyRecoversTransientFailure(t *testing.T) {
+	e := newEnv(t)
+	var calls atomic.Int64
+	registerProc(t, e.store, e.reg, registry.AgentSpec{
+		Name:    "FLAPPY",
+		Inputs:  []registry.ParamSpec{{Name: "CRITERIA", Type: "text"}},
+		Outputs: []registry.ParamSpec{{Name: "OUT", Type: "text"}},
+		QoS:     registry.QoSProfile{CostPerCall: 0.001, Accuracy: 1},
+	}, func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
+		if calls.Add(1) < 3 {
+			return agent.Outputs{}, errors.New("transient glitch")
+		}
+		return agent.Outputs{Values: map[string]any{"OUT": "ok"}}, nil
+	})
+
+	c := New(e.store, e.reg, nil, e.model, Options{
+		Retry: resilience.RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, Multiplier: 2},
+	})
+	res, err := c.ExecutePlan(sess, singleStepPlan("retry-1", "FLAPPY"), budget.New(budget.Limits{MaxLatency: time.Minute}))
+	if err != nil {
+		t.Fatalf("retries did not recover: %v", err)
+	}
+	if res.Retries != 2 {
+		t.Fatalf("res.Retries = %d, want 2", res.Retries)
+	}
+	if res.Budget.Retries != 2 {
+		t.Fatalf("budget.Retries = %d, want 2 (backoffs must be charged)", res.Budget.Retries)
+	}
+	if res.Final["OUT"] != "ok" {
+		t.Fatalf("final = %v", res.Final)
+	}
+}
+
+func TestRetryStopsWhenLatencyBudgetExhausted(t *testing.T) {
+	e := newEnv(t)
+	var calls atomic.Int64
+	registerProc(t, e.store, e.reg, registry.AgentSpec{
+		Name:    "DOOMED",
+		Inputs:  []registry.ParamSpec{{Name: "CRITERIA", Type: "text"}},
+		Outputs: []registry.ParamSpec{{Name: "OUT", Type: "text"}},
+	}, func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
+		calls.Add(1)
+		return agent.Outputs{}, errors.New("always down")
+	})
+
+	// The first backoff (50ms) exceeds the whole latency budget (10ms):
+	// the policy must stop after one attempt rather than retry past the SLO.
+	c := New(e.store, e.reg, nil, e.model, Options{
+		Retry: resilience.RetryPolicy{MaxAttempts: 5, BaseBackoff: 50 * time.Millisecond},
+	})
+	res, err := c.ExecutePlan(sess, singleStepPlan("retry-2", "DOOMED"), budget.New(budget.Limits{MaxLatency: 10 * time.Millisecond}))
+	if !errors.Is(err, ErrStepFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (no budget headroom for backoff)", got)
+	}
+	if res.Retries != 0 {
+		t.Fatalf("res.Retries = %d, want 0", res.Retries)
+	}
+}
+
+func TestBreakerOpensAndServesStaleDegraded(t *testing.T) {
+	e := newEnv(t)
+	var failing atomic.Bool
+	registerProc(t, e.store, e.reg, registry.AgentSpec{
+		Name:      "CACHED_FLAKE",
+		Inputs:    []registry.ParamSpec{{Name: "CRITERIA", Type: "text"}},
+		Outputs:   []registry.ParamSpec{{Name: "OUT", Type: "text"}},
+		Cacheable: true,
+		QoS:       registry.QoSProfile{CostPerCall: 0.001, Accuracy: 1, Freshness: 50 * time.Millisecond},
+	}, func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
+		if failing.Load() {
+			return agent.Outputs{}, errors.New("brownout")
+		}
+		return agent.Outputs{Values: map[string]any{"OUT": "primed"}}, nil
+	})
+
+	store := memo.New(64)
+	breakers := resilience.NewSet(resilience.BreakerConfig{
+		Window: 4, MinSamples: 2, FailureThreshold: 0.5, OpenFor: time.Hour,
+	})
+	c := New(e.store, e.reg, nil, e.model, Options{
+		Memo:     store,
+		Breakers: breakers,
+		Degrade:  resilience.DegradePolicy{StaleFactor: 1000},
+	})
+
+	// Prime the memo entry, then let its freshness lapse.
+	if _, err := c.ExecutePlan(sess, singleStepPlan("deg-0", "CACHED_FLAKE"), budget.New(budget.Limits{})); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	failing.Store(true)
+
+	// One failing run trips the breaker: with the priming success already in
+	// the window, the failure makes 2 samples at 50% failure rate.
+	if _, err := c.ExecutePlan(sess, singleStepPlan("deg-1", "CACHED_FLAKE"), budget.New(budget.Limits{})); err == nil {
+		t.Fatal("failing run should have failed")
+	}
+	if got := breakers.For("CACHED_FLAKE").State(); got != resilience.Open {
+		t.Fatalf("breaker state = %s, want open", got)
+	}
+
+	// With the breaker open, the step is answered from the stale entry.
+	res, err := c.ExecutePlan(sess, singleStepPlan("deg-3", "CACHED_FLAKE"), budget.New(budget.Limits{}))
+	if err != nil {
+		t.Fatalf("degraded serve failed: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatalf("result not marked degraded: %+v", res)
+	}
+	sr := res.Steps[0]
+	if !sr.Degraded || !sr.Cached || sr.StaleFor < 50*time.Millisecond {
+		t.Fatalf("step result = %+v", sr)
+	}
+	if res.Final["OUT"] != "primed" {
+		t.Fatalf("final = %v", res.Final)
+	}
+	// The degraded plan paid nothing for the stale serve.
+	if res.Budget.CostSpent != 0 {
+		t.Fatalf("degraded serve charged cost: %v", res.Budget.CostSpent)
+	}
+}
+
+func TestBreakerOpenWithoutStaleEntryFailsFast(t *testing.T) {
+	e := newEnv(t)
+	registerProc(t, e.store, e.reg, registry.AgentSpec{
+		Name:    "UNCACHED_FLAKE",
+		Inputs:  []registry.ParamSpec{{Name: "CRITERIA", Type: "text"}},
+		Outputs: []registry.ParamSpec{{Name: "OUT", Type: "text"}},
+	}, func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
+		return agent.Outputs{}, errors.New("down")
+	})
+
+	breakers := resilience.NewSet(resilience.BreakerConfig{
+		Window: 4, MinSamples: 2, FailureThreshold: 0.5, OpenFor: time.Hour,
+	})
+	c := New(e.store, e.reg, nil, e.model, Options{Breakers: breakers})
+	for i := 0; i < 2; i++ {
+		_, _ = c.ExecutePlan(sess, singleStepPlan(fmt.Sprintf("brk-%d", i), "UNCACHED_FLAKE"), budget.New(budget.Limits{}))
+	}
+	start := time.Now()
+	_, err := c.ExecutePlan(sess, singleStepPlan("brk-fast", "UNCACHED_FLAKE"), budget.New(budget.Limits{}))
+	if !errors.Is(err, resilience.ErrBreakerOpen) {
+		t.Fatalf("err = %v, want breaker-open", err)
+	}
+	// The rejection must not have dispatched the agent at all.
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("breaker rejection took %s", d)
+	}
+}
+
+// Satellite: a step cancelled by a concurrent failure elsewhere in the plan
+// must not be retried (context cancellation is not transient), and the
+// in-flight agent work must actually stop via the targeted abort. Run with
+// -race.
+func TestConcurrentCancellationStopsRetriesAndInFlightWork(t *testing.T) {
+	e := newEnv(t)
+	registerProc(t, e.store, e.reg, registry.AgentSpec{
+		Name:    "BOOM",
+		Inputs:  []registry.ParamSpec{{Name: "CRITERIA", Type: "text"}},
+		Outputs: []registry.ParamSpec{{Name: "OUT", Type: "text"}},
+	}, func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
+		return agent.Outputs{}, errors.New("boom")
+	})
+	hangReturned := make(chan struct{})
+	registerProc(t, e.store, e.reg, registry.AgentSpec{
+		Name:    "HANG",
+		Inputs:  []registry.ParamSpec{{Name: "CRITERIA", Type: "text"}},
+		Outputs: []registry.ParamSpec{{Name: "OUT", Type: "text"}},
+	}, func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
+		defer close(hangReturned)
+		<-ctx.Done()
+		return agent.Outputs{}, ctx.Err()
+	})
+
+	c := New(e.store, e.reg, nil, e.model, Options{
+		Retry: resilience.RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond},
+	})
+	plan := &planner.Plan{
+		ID: "cancel-1", Utterance: "go", Intent: "rank",
+		Steps: []planner.Step{
+			{ID: "a", Agent: "BOOM", Task: "fail",
+				Bindings: map[string]planner.Binding{"CRITERIA": {FromUserText: true}}},
+			{ID: "b", Agent: "HANG", Task: "hang",
+				Bindings: map[string]planner.Binding{"CRITERIA": {FromUserText: true}}},
+		},
+	}
+	res, err := c.ExecutePlan(sess, plan, budget.New(budget.Limits{}))
+	if !errors.Is(err, ErrStepFailed) {
+		t.Fatalf("err = %v", err)
+	}
+	// Only BOOM's two retries happened; the cancelled HANG step retried 0x.
+	if res.Retries != 2 {
+		t.Fatalf("res.Retries = %d, want 2", res.Retries)
+	}
+	// The targeted abort must have cancelled HANG's in-flight processor.
+	select {
+	case <-hangReturned:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight agent work not cancelled by plan failure")
+	}
+}
+
+// Satellite: replan retries racing budget exhaustion across concurrent plans
+// (shared Coordinator, per-plan budgets). Run with -race.
+func TestConcurrentReplanRetryUnderBudgetExhaustion(t *testing.T) {
+	e := newEnv(t)
+	spec := registry.AgentSpec{
+		Name:        "FLAKY_MATCHER",
+		Description: "match the job seeker profile with available job listings ranking match quality precisely",
+		Inputs:      []registry.ParamSpec{{Name: "JOBSEEKER_DATA", Type: "profile"}},
+		Outputs:     []registry.ParamSpec{{Name: "MATCHES", Type: "rows"}},
+	}
+	registerProc(t, e.store, e.reg, spec, func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
+		return agent.Outputs{}, errors.New("model unavailable")
+	})
+
+	c := New(e.store, e.reg, e.tp, e.model, Options{
+		RetryOnError: true,
+		Retry:        resilience.RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond},
+	})
+	makePlan := func(i int) *planner.Plan {
+		return &planner.Plan{
+			ID: fmt.Sprintf("race-%d", i), Utterance: "match me", Intent: "rank",
+			Steps: []planner.Step{
+				{ID: "s1", Agent: "PROFILER", Task: "collect job seeker profile information from the user",
+					Bindings: map[string]planner.Binding{"CRITERIA": {FromUserText: true}}},
+				{ID: "s2", Agent: "FLAKY_MATCHER", Task: "match the job seeker profile with available job listings",
+					Bindings: map[string]planner.Binding{"JOBSEEKER_DATA": {FromStep: "s1", FromParam: "JOBSEEKER_DATA"}}},
+			},
+		}
+	}
+	var wg sync.WaitGroup
+	errsC := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Half the budgets fit the replanned JOBMATCHER, half exhaust.
+			limit := 1.0
+			if i%2 == 1 {
+				limit = 0.0015
+			}
+			_, err := c.ExecutePlan(sess, makePlan(i), budget.New(budget.Limits{MaxCost: limit}))
+			errsC <- err
+		}(i)
+	}
+	wg.Wait()
+	close(errsC)
+	ok, aborted := 0, 0
+	for err := range errsC {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrAborted):
+			aborted++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if ok == 0 || aborted == 0 {
+		t.Fatalf("ok=%d aborted=%d: expected both replan successes and budget aborts", ok, aborted)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"blueprint/internal/obs"
 	"blueprint/internal/planner"
 	"blueprint/internal/registry"
+	"blueprint/internal/resilience"
 	"blueprint/internal/streams"
 )
 
@@ -24,6 +25,12 @@ const DefaultMaxParallel = 8
 // a different agent than the one the memo key names; the result is returned
 // to the leader but never cached or shared.
 var errReplanned = errors.New("coordinator: step replanned to an alternative agent; result not memoizable under the original key")
+
+// errDegraded marks a memoized-step execution that was answered from a stale
+// entry (breaker open): the leader keeps its degraded success, but the stale
+// value must not be re-cached as fresh (that would reset its age), so
+// waiters re-execute — and typically degrade the same way.
+var errDegraded = errors.New("coordinator: step served degraded from a stale entry; not re-cacheable")
 
 // scheduler executes one plan as a dependency-driven DAG: it derives the
 // step dependencies from the plan's bindings (planner.Plan.Deps), dispatches
@@ -234,6 +241,9 @@ func (s *scheduler) runMemoized(ctx context.Context, step planner.Step, spec reg
 			// waiters re-execute.
 			return memo.Entry{}, errReplanned
 		}
+		if sr.Degraded {
+			return memo.Entry{}, errDegraded
+		}
 		return memo.Entry{Outputs: sr.Outputs, Cost: sr.Cost, Latency: sr.Latency}, nil
 	})
 	msp.SetAttr("outcome", outcome.String())
@@ -287,9 +297,25 @@ func (s *scheduler) runMemoized(ctx context.Context, step planner.Step, spec reg
 	return stepOutcome{stepID: step.ID, ran: true}
 }
 
-// runFresh executes the step for real: budget admission, agent execution
-// with one optional replan retry, and the Commit of actuals.
+// runFresh executes the step for real: circuit-breaker consult, budget
+// admission, agent execution under the retry policy, with a degraded
+// stale-memo serve or one replan fallback when the breaker rejects or the
+// retries are exhausted, and the Commit of actuals.
 func (s *scheduler) runFresh(ctx context.Context, step planner.Step, inputs map[string]any) stepOutcome {
+	// Circuit breaker: an open breaker rejects the dispatch outright. The
+	// step is then answered from a stale memo entry when the degradation
+	// policy tolerates its age, or falls through (execErr set, nothing
+	// reserved or executed) to the replan fallback below — routing around
+	// the broken agent instead of hammering it.
+	if !s.c.opts.Breakers.Allow(step.Agent) {
+		if oc, ok := s.serveStale(step, inputs); ok {
+			return oc
+		}
+		sr := StepResult{StepID: step.ID, Agent: step.Agent, Err: resilience.ErrBreakerOpen.Error()}
+		execErr := fmt.Errorf("%s: %w", step.Agent, resilience.ErrBreakerOpen)
+		return s.replanOrFail(ctx, step, inputs, nil, false, sr, execErr)
+	}
+
 	// Admission: reserve the registry's projected cost so parallel steps
 	// cannot jointly overshoot the cost limit. Latency is deliberately NOT
 	// reserved per step — concurrent steps overlap in time, so summing
@@ -317,7 +343,103 @@ func (s *scheduler) runFresh(ctx context.Context, step planner.Step, inputs map[
 		}
 	}
 
-	sr, execErr := s.c.executeStep(ctx, s.session, s.plan, step, inputs)
+	sr, execErr := s.executeAttempts(ctx, step, inputs)
+	return s.replanOrFail(ctx, step, inputs, rsv, confirmed, sr, execErr)
+}
+
+// executeAttempts runs one step under the retry policy: transient failures
+// retry against the same agent with exponential backoff, each backoff
+// charged to the plan's latency budget (a plan pays for its own waiting and
+// therefore never retries itself past its SLO). Every attempt's outcome
+// feeds the agent's breaker; retries stop when the error is not transient,
+// the breaker trips, the budget has no headroom for the backoff, or the
+// plan is cancelled.
+func (s *scheduler) executeAttempts(ctx context.Context, step planner.Step, inputs map[string]any) (StepResult, error) {
+	pol := s.c.opts.Retry
+	attempts := pol.Attempts()
+	var sr StepResult
+	var err error
+	for attempt := 1; ; attempt++ {
+		sr, err = s.c.executeStep(ctx, s.session, s.plan, step, inputs, s.c.stepDeadline(s.budget), attempt)
+		s.c.opts.Breakers.Record(step.Agent, err == nil)
+		if err == nil || attempt >= attempts || !resilience.Retryable(err) || s.ctx.Err() != nil {
+			return sr, err
+		}
+		// This failure may have tripped the breaker; the next attempt needs
+		// its admission like any other dispatch.
+		if !s.c.opts.Breakers.Allow(step.Agent) {
+			return sr, err
+		}
+		if backoff := pol.Backoff(attempt); backoff > 0 {
+			if lim := s.budget.Limits(); lim.MaxLatency > 0 {
+				if _, rem := s.budget.Remaining(); backoff > rem {
+					// No latency headroom left to back off in; retrying
+					// would bust the SLO the budget protects.
+					return sr, err
+				}
+			}
+			s.budget.ChargeRetryBackoff(step.ID+":"+step.Agent, backoff)
+			if !resilience.SleepBudgeted(s.ctx, backoff) {
+				return sr, err
+			}
+		}
+		mStepRetries.Inc()
+		s.mu.Lock()
+		s.res.Retries++
+		s.mu.Unlock()
+	}
+}
+
+// serveStale answers a breaker-rejected step from a stale memo entry when
+// the agent is cacheable, an entry is resident, and its age is within the
+// degradation policy's bound of the agent's declared freshness. The serve
+// is charged like a memo hit (zero cost, zero marginal critical-path
+// latency) and marked Degraded with its staleness.
+func (s *scheduler) serveStale(step planner.Step, inputs map[string]any) (stepOutcome, bool) {
+	st := s.c.opts.Memo
+	if st == nil {
+		return stepOutcome{}, false
+	}
+	spec, err := s.c.reg.Get(step.Agent)
+	if err != nil || !spec.Cacheable {
+		return stepOutcome{}, false
+	}
+	key, kerr := memo.ComputeKey(spec.Name, spec.Version, inputs)
+	if kerr != nil {
+		return stepOutcome{}, false
+	}
+	entry, age, ok := st.GetStale(key)
+	if !ok || !s.c.opts.Degrade.Allows(spec.QoS.Freshness, age) {
+		return stepOutcome{}, false
+	}
+	mStepsStale.Inc()
+	sr := StepResult{StepID: step.ID, Agent: step.Agent, Outputs: entry.Outputs, Cached: true, Degraded: true, StaleFor: age}
+	vs := s.budget.ChargeMemoHit(step.ID+":"+step.Agent+":stale", spec.QoS.Accuracy)
+	s.mu.Lock()
+	startAt := time.Duration(0)
+	for _, d := range s.deps[step.ID] {
+		if s.simFinish[d] > startAt {
+			startAt = s.simFinish[d]
+		}
+	}
+	s.simFinish[step.ID] = startAt // a degraded serve adds nothing to the critical path
+	s.results[step.ID] = sr
+	s.res.Degraded = true
+	s.mu.Unlock()
+	if len(vs) > 0 && !s.confirmViolations(vs) {
+		err := s.abort(vs[0].String())
+		return stepOutcome{stepID: step.ID, ran: true, err: err}, true
+	}
+	s.mu.Lock()
+	s.outputs[step.ID] = sr.Outputs
+	s.mu.Unlock()
+	return stepOutcome{stepID: step.ID, ran: true}, true
+}
+
+// replanOrFail finishes a step after its execution attempts: on failure it
+// applies the one replan fallback (RetryOnError), then records the result
+// and commits actuals.
+func (s *scheduler) replanOrFail(ctx context.Context, step planner.Step, inputs map[string]any, rsv *budget.Reservation, confirmed bool, sr StepResult, execErr error) stepOutcome {
 	if execErr != nil && s.c.opts.RetryOnError && s.c.tp != nil && s.ctx.Err() == nil {
 		if np, rerr := s.c.tp.Replan(s.plan, step.ID); rerr == nil {
 			s.mu.Lock()
@@ -344,7 +466,8 @@ func (s *scheduler) runFresh(ctx context.Context, step planner.Step, inputs map[
 					confirmed = true
 				}
 			}
-			sr, execErr = s.c.executeStep(ctx, s.session, np, alt, inputs)
+			sr, execErr = s.c.executeStep(ctx, s.session, np, alt, inputs, s.c.stepDeadline(s.budget), 1)
+			s.c.opts.Breakers.Record(alt.Agent, execErr == nil)
 			if execErr == nil {
 				step = alt
 			}
@@ -355,7 +478,7 @@ func (s *scheduler) runFresh(ctx context.Context, step planner.Step, inputs map[
 	s.mu.Unlock()
 	if execErr != nil {
 		rsv.Release()
-		err := fmt.Errorf("%w: %s (%s): %v", ErrStepFailed, step.ID, step.Agent, execErr)
+		err := fmt.Errorf("%w: %s (%s): %w", ErrStepFailed, step.ID, step.Agent, execErr)
 		if s.ctx.Err() != nil {
 			// Cancelled by another step's failure: keep that failure as the
 			// plan error, report this step as collateral.

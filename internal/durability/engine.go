@@ -11,6 +11,7 @@ package durability
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -20,6 +21,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"blueprint/internal/resilience"
 )
 
 // Loggable is the contract a subsystem implements to plug into the engine.
@@ -466,6 +469,12 @@ func (e *Engine) append(id uint8, payload []byte) (uint64, error) {
 		// re-triggering a memo invalidation): the record is already in the
 		// log; re-appending would duplicate it.
 		return 0, nil
+	}
+	// Chaos hook: an active injector may fail or stall the append here, as
+	// a real disk would. There is no caller context on this path, so hangs
+	// are bounded by the injector itself.
+	if err := resilience.Check(context.Background(), resilience.SiteDurability); err != nil {
+		return 0, fmt.Errorf("durability: append: %w", err)
 	}
 	e.mu.Lock()
 	if e.closed {

@@ -31,7 +31,7 @@ type Row struct {
 
 // Table is one experiment's result.
 type Table struct {
-	ID    string // "F1".."F10", "A1".."A10"
+	ID    string // "F1".."F10", "A1".."A11"
 	Title string
 	Rows  []Row
 	Notes []string
@@ -88,6 +88,7 @@ func All(seed int64) ([]*Table, error) {
 		{"A8", AblationDurability},
 		{"A9", FrontendShapeCache},
 		{"A10", AblationObservability},
+		{"A11", AblationResilience},
 	}
 	out := make([]*Table, 0, len(exps))
 	for _, e := range exps {

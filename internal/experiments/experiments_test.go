@@ -18,8 +18,8 @@ func TestAllExperimentsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 20 {
-		t.Fatalf("tables = %d, want 20", len(tables))
+	if len(tables) != 21 {
+		t.Fatalf("tables = %d, want 21", len(tables))
 	}
 	byID := map[string]*Table{}
 	for _, tb := range tables {
@@ -205,6 +205,25 @@ func TestAllExperimentsRun(t *testing.T) {
 	}
 	if a10["instrumented"]["overhead"] == "" {
 		t.Errorf("A10 missing overhead metric: %v", a10["instrumented"])
+	}
+
+	// A11: the admission floors (baseline shed ceiling, overload
+	// engagement, degraded freshness validity, goroutine-leak bound) are
+	// enforced inside the experiment — a regression fails All above.
+	// Spot-check that the overload phase both shed and served degraded.
+	a11 := map[string]map[string]string{}
+	for _, r := range byID["A11"].Rows {
+		a11[r.Series] = map[string]string{}
+		for _, m := range r.Metrics {
+			a11[r.Series][m.Name] = m.Value
+		}
+	}
+	over := a11["2x capacity (bursty)"]
+	if over["shed"] == "" || over["shed"] == "0" {
+		t.Errorf("A11 overload phase shed nothing: %v", over)
+	}
+	if over["degraded"] == "" || over["degraded"] == "0" {
+		t.Errorf("A11 overload phase served no degraded answers: %v", over)
 	}
 }
 

@@ -140,6 +140,10 @@ type Stats struct {
 	// Restored counts entries loaded from the durability snapshot/log at
 	// recovery — the warm-start seed a restarted process begins with.
 	Restored int
+	// StaleServes counts GetStale reads that found a resident entry — the
+	// degraded-answer path taken while a breaker was open or the daemon was
+	// shedding load.
+	StaleServes int
 }
 
 // HitRate is hits/(hits+misses); 0 when nothing was looked up.
@@ -152,11 +156,12 @@ func (s Stats) HitRate() float64 {
 
 // entry is the resident record behind one key.
 type entry struct {
-	key     Key
-	agent   string
-	sources []string
-	val     Entry
-	expires time.Time // zero = never
+	key      Key
+	agent    string
+	sources  []string
+	val      Entry
+	storedAt time.Time
+	expires  time.Time // zero = never
 }
 
 // flight is one in-progress execution other requests may coalesce onto.
@@ -255,6 +260,31 @@ func (s *Store) Peek(key Key) (Entry, bool) {
 		return Entry{}, false
 	}
 	return cloneEntry(e.val), true
+}
+
+// GetStale returns the resident entry for key regardless of TTL expiry,
+// together with its age since it was stored — the graceful-degradation read
+// used when an agent's breaker is open or the daemon is shedding load. The
+// caller decides whether the age is tolerable (resilience.DegradePolicy
+// against the agent's declared freshness). Version-invalidated entries are
+// gone entirely, so whatever GetStale returns is stale only in time, never
+// in version. Counts a StaleServe, not a hit. Safe on a nil store.
+func (s *Store) GetStale(key Key) (Entry, time.Duration, bool) {
+	if s == nil {
+		return Entry{}, 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return Entry{}, 0, false
+	}
+	e := el.Value.(*entry)
+	s.stats.StaleServes++
+	// A stale serve proves the entry is still useful; keep it resident
+	// through the brownout.
+	s.lru.MoveToFront(el)
+	return cloneEntry(e.val), s.now().Sub(e.storedAt), true
 }
 
 // Put stores an execution result under key. agent and sources drive
@@ -439,8 +469,11 @@ func (s *Store) Len() int {
 
 // ---- internals (all require s.mu) ----
 
-// lookupLocked returns a live entry, reaping it if expired and promoting it
-// in the LRU otherwise.
+// lookupLocked returns a live entry, promoting it in the LRU. Expired
+// entries are invisible here but stay resident (at their LRU position, so
+// the capacity bound still ages them out): the degraded-serve path
+// (GetStale) may still answer from them while a breaker is open or the
+// daemon is shedding, and a later re-execution replaces them in place.
 func (s *Store) lookupLocked(key Key) (*entry, bool) {
 	el, ok := s.entries[key]
 	if !ok {
@@ -448,7 +481,6 @@ func (s *Store) lookupLocked(key Key) (*entry, bool) {
 	}
 	e := el.Value.(*entry)
 	if !e.expires.IsZero() && s.now().After(e.expires) {
-		s.removeLocked(key)
 		return nil, false
 	}
 	s.lru.MoveToFront(el)
@@ -462,9 +494,9 @@ func (s *Store) putLocked(key Key, agent string, sources []string, ttl time.Dura
 		s.lru.Remove(el)
 		delete(s.entries, key)
 	}
-	e := &entry{key: key, agent: agent, sources: append([]string(nil), sources...), val: cloneEntry(val)}
+	e := &entry{key: key, agent: agent, sources: append([]string(nil), sources...), val: cloneEntry(val), storedAt: s.now()}
 	if ttl > 0 {
-		e.expires = s.now().Add(ttl)
+		e.expires = e.storedAt.Add(ttl)
 	}
 	s.entries[key] = s.lru.PushFront(e)
 	if s.byAgent[agent] == nil {

@@ -115,6 +115,66 @@ func TestTTLExpiry(t *testing.T) {
 	}
 }
 
+func TestGetStaleServesExpiredEntries(t *testing.T) {
+	s := New(8)
+	now := time.Unix(1000, 0)
+	s.now = func() time.Time { return now }
+	k := mustKey(t, "A", 1, map[string]any{"q": 1})
+	s.Put(k, "A", []string{"hr"}, time.Minute, Entry{Outputs: map[string]any{"OUT": 1}})
+
+	// Fresh: GetStale reports near-zero age.
+	e, age, ok := s.GetStale(k)
+	if !ok || age != 0 || e.Outputs["OUT"] != 1 {
+		t.Fatalf("fresh GetStale = (%v, %s, %v)", e, age, ok)
+	}
+
+	// Past TTL: invisible to Get/Peek, but GetStale still serves it with the
+	// true age so the degradation policy can judge it.
+	now = now.Add(5 * time.Minute)
+	if _, ok := s.Get(k); ok {
+		t.Fatal("expired entry served by Get")
+	}
+	e, age, ok = s.GetStale(k)
+	if !ok || e.Outputs["OUT"] != 1 {
+		t.Fatal("expired entry not servable via GetStale")
+	}
+	if age != 5*time.Minute {
+		t.Fatalf("GetStale age = %s, want 5m", age)
+	}
+	if st := s.Stats(); st.StaleServes != 2 {
+		t.Fatalf("StaleServes = %d, want 2", st.StaleServes)
+	}
+
+	// Version invalidation removes the entry entirely — stale-in-time only,
+	// never stale-in-version.
+	s.InvalidateSource("hr")
+	if _, _, ok := s.GetStale(k); ok {
+		t.Fatal("invalidated entry servable via GetStale")
+	}
+}
+
+func TestExpiredEntryReplacedInPlace(t *testing.T) {
+	s := New(8)
+	now := time.Unix(1000, 0)
+	s.now = func() time.Time { return now }
+	k := mustKey(t, "A", 1, map[string]any{"q": 1})
+	s.Put(k, "A", nil, time.Minute, Entry{Outputs: map[string]any{"OUT": "old"}})
+	now = now.Add(2 * time.Minute)
+	// Re-execution via Do must replace the retained expired entry.
+	_, out, err := s.Do(context.Background(), k, "A", nil, time.Minute, func() (Entry, error) {
+		return Entry{Outputs: map[string]any{"OUT": "new"}}, nil
+	})
+	if err != nil || out != Miss {
+		t.Fatalf("Do = (%v, %v)", out, err)
+	}
+	if e, _, ok := s.GetStale(k); !ok || e.Outputs["OUT"] != "new" {
+		t.Fatalf("retained expired entry not replaced: %v %v", e, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
 func TestInvalidateAgentAndSource(t *testing.T) {
 	s := New(16)
 	ka := mustKey(t, "A", 1, map[string]any{"q": 1})

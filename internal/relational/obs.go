@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"blueprint/internal/obs"
+	"blueprint/internal/resilience"
 )
 
 // Process-wide SQL instruments: every statement executed through the engine
@@ -22,6 +23,9 @@ func (db *DB) QueryContext(ctx context.Context, sql string, params ...any) (*Res
 	_, sp := obs.StartSpan(ctx, "relational", "query")
 	defer sp.End()
 	sp.SetAttr("sql", obs.Truncate(sql, 80))
+	if err := resilience.Check(ctx, resilience.SiteRelational); err != nil {
+		return nil, err
+	}
 	res, err := db.Query(sql, params...)
 	if err == nil && sp != nil {
 		sp.SetAttr("rows", strconv.Itoa(len(res.Rows)))
@@ -34,6 +38,9 @@ func (db *DB) ExecContext(ctx context.Context, sql string, params ...any) (int, 
 	_, sp := obs.StartSpan(ctx, "relational", "exec")
 	defer sp.End()
 	sp.SetAttr("sql", obs.Truncate(sql, 80))
+	if err := resilience.Check(ctx, resilience.SiteRelational); err != nil {
+		return 0, err
+	}
 	return db.Exec(sql, params...)
 }
 

@@ -1,0 +1,274 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"blueprint/internal/obs"
+)
+
+// Process-wide breaker instruments (per-Set state gauges are func-backed and
+// registered by the System wiring).
+var (
+	mBreakerTrips      = obs.Default.Counter("blueprint_breaker_trips_total", "circuit-breaker transitions to open")
+	mBreakerRejections = obs.Default.Counter("blueprint_breaker_rejections_total", "dispatches rejected by an open breaker")
+	mBreakerProbes     = obs.Default.Counter("blueprint_breaker_probes_total", "half-open probe dispatches")
+	mBreakerCloses     = obs.Default.Counter("blueprint_breaker_closes_total", "circuit-breaker recoveries to closed")
+)
+
+// ErrBreakerOpen reports a dispatch rejected because the target agent's
+// circuit breaker is open. Never retried against the same agent; the
+// scheduler's replan fallback may still route to an alternative.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// State is a breaker's position in the closed/open/half-open machine.
+type State int
+
+// Breaker states.
+const (
+	// Closed passes traffic, recording outcomes in the failure window.
+	Closed State = iota
+	// Open rejects traffic until OpenFor elapses.
+	Open
+	// HalfOpen admits up to HalfOpenProbes trial dispatches; all-success
+	// closes the breaker, any failure re-opens it.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes the per-agent breakers of one Set.
+type BreakerConfig struct {
+	// Window is the sliding outcome window (last Window dispatches; default
+	// 20).
+	Window int
+	// MinSamples is the fewest recorded outcomes before the failure rate is
+	// trusted (default 5) — a single early failure must not trip a breaker.
+	MinSamples int
+	// FailureThreshold opens the breaker when the windowed failure rate
+	// reaches it (default 0.5).
+	FailureThreshold float64
+	// OpenFor is how long an open breaker rejects before probing (default
+	// 2s).
+	OpenFor time.Duration
+	// HalfOpenProbes is how many trial dispatches half-open admits
+	// (default 1).
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 5
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 0.5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 2 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+// Breaker is one closed/open/half-open circuit over a sliding outcome
+// window. Safe for concurrent use.
+type Breaker struct {
+	mu      sync.Mutex
+	cfg     BreakerConfig
+	now     func() time.Time
+	state   State
+	window  []bool // ring of outcomes, true = failure
+	next    int
+	filled  int
+	openAt  time.Time
+	probes  int // in-flight + spent half-open probes since entering HalfOpen
+	probeOK int
+}
+
+// NewBreaker creates a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, now: time.Now, window: make([]bool, cfg.Window)}
+}
+
+// Allow reports whether a dispatch may proceed, advancing open -> half-open
+// when the open period elapsed and accounting half-open probe admissions.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openAt) < b.cfg.OpenFor {
+			mBreakerRejections.Inc()
+			return false
+		}
+		b.state = HalfOpen
+		b.probes, b.probeOK = 0, 0
+		fallthrough
+	default: // HalfOpen
+		if b.probes >= b.cfg.HalfOpenProbes {
+			mBreakerRejections.Inc()
+			return false
+		}
+		b.probes++
+		mBreakerProbes.Inc()
+		return true
+	}
+}
+
+// Record folds one dispatch outcome into the window and runs the state
+// machine: a half-open failure re-opens immediately, all probes succeeding
+// closes, and a closed breaker trips when the windowed failure rate crosses
+// the threshold.
+func (b *Breaker) Record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.window[b.next] = !success
+	b.next = (b.next + 1) % len(b.window)
+	if b.filled < len(b.window) {
+		b.filled++
+	}
+	switch b.state {
+	case HalfOpen:
+		if !success {
+			b.tripLocked()
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.HalfOpenProbes {
+			b.state = Closed
+			b.resetWindowLocked()
+			mBreakerCloses.Inc()
+		}
+	case Closed:
+		if b.filled >= b.cfg.MinSamples && b.failureRateLocked() >= b.cfg.FailureThreshold {
+			b.tripLocked()
+		}
+	}
+}
+
+// State returns the current state (advancing open -> half-open is left to
+// Allow; State is a pure read).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+func (b *Breaker) tripLocked() {
+	b.state = Open
+	b.openAt = b.now()
+	mBreakerTrips.Inc()
+}
+
+func (b *Breaker) resetWindowLocked() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.next, b.filled = 0, 0
+}
+
+func (b *Breaker) failureRateLocked() float64 {
+	if b.filled == 0 {
+		return 0
+	}
+	fails := 0
+	n := b.filled
+	for i := 0; i < n; i++ {
+		if b.window[i] {
+			fails++
+		}
+	}
+	return float64(fails) / float64(n)
+}
+
+// Set holds one breaker per agent, created lazily on first use.
+type Set struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+	m   map[string]*Breaker
+}
+
+// NewSet creates an empty breaker set.
+func NewSet(cfg BreakerConfig) *Set {
+	return &Set{cfg: cfg.withDefaults(), m: make(map[string]*Breaker)}
+}
+
+// For returns the named agent's breaker, creating it closed. Safe on a nil
+// set (returns nil; nil breakers always allow).
+func (s *Set) For(name string) *Breaker {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[name]
+	if !ok {
+		b = NewBreaker(s.cfg)
+		s.m[name] = b
+	}
+	return b
+}
+
+// Allow reports whether a dispatch to the named agent may proceed. A nil set
+// always allows.
+func (s *Set) Allow(name string) bool {
+	if s == nil {
+		return true
+	}
+	return s.For(name).Allow()
+}
+
+// Record folds one dispatch outcome for the named agent. No-op on nil.
+func (s *Set) Record(name string, success bool) {
+	if s == nil {
+		return
+	}
+	s.For(name).Record(success)
+}
+
+// States snapshots every breaker's state by agent name.
+func (s *Set) States() map[string]State {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]State, len(s.m))
+	for name, b := range s.m {
+		out[name] = b.State()
+	}
+	return out
+}
+
+// OpenCount counts breakers currently not closed (open or half-open) — the
+// value the blueprint_breaker_open gauge exports.
+func (s *Set) OpenCount() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, st := range s.States() {
+		if st != Closed {
+			n++
+		}
+	}
+	return n
+}

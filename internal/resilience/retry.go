@@ -1,0 +1,123 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy generalizes the coordinator's seed-era "one replan retry" into
+// a declared policy: how many attempts a step gets, how backoff grows
+// between them, and which errors are worth retrying at all. The scheduler
+// charges every backoff sleep against the plan's remaining latency budget,
+// so retries consume the deadline they are trying to save — a plan never
+// retries itself past its own SLO.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries (1 = no retry; 0 = treat as 1).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the grown delay.
+	MaxBackoff time.Duration
+	// Multiplier grows the delay per retry (default 2).
+	Multiplier float64
+	// JitterFrac randomizes each delay by ±JitterFrac (e.g. 0.2 = ±20%),
+	// decorrelating synchronized retry storms.
+	JitterFrac float64
+}
+
+// DefaultRetryPolicy is the production default: three attempts, 10ms base
+// doubling to a 250ms cap, ±20% jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 250 * time.Millisecond, Multiplier: 2, JitterFrac: 0.2}
+}
+
+// Attempts returns the effective attempt bound (at least 1).
+func (p RetryPolicy) Attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Backoff computes the delay before retry number retry (1-based: the delay
+// after the first failed attempt is Backoff(1)). Jitter draws from the
+// package RNG, which is safe for concurrent use.
+func (p RetryPolicy) Backoff(retry int) time.Duration {
+	if retry < 1 || p.BaseBackoff <= 0 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(p.BaseBackoff)
+	for i := 1; i < retry; i++ {
+		d *= mult
+		if p.MaxBackoff > 0 && d >= float64(p.MaxBackoff) {
+			d = float64(p.MaxBackoff)
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > float64(p.MaxBackoff) {
+		d = float64(p.MaxBackoff)
+	}
+	if p.JitterFrac > 0 {
+		d *= 1 + p.JitterFrac*(2*jitterFloat()-1)
+	}
+	if d < 0 {
+		return 0
+	}
+	return time.Duration(d)
+}
+
+// jitterRNG backs Backoff's jitter. Retry jitter exists to decorrelate
+// concurrent retries, so a process-wide locked source is exactly right.
+var (
+	jitterMu  sync.Mutex
+	jitterRng = rand.New(rand.NewSource(1))
+)
+
+func jitterFloat() float64 {
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return jitterRng.Float64()
+}
+
+// Retryable classifies an error as transient. Injected faults, step
+// timeouts and explicitly-marked transient errors retry; context
+// cancellation, breaker rejections and shed decisions never do (retrying a
+// cancelled plan wastes the budget of live ones; retrying into an open
+// breaker or a shedding governor amplifies the overload the breaker exists
+// to stop).
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrBreakerOpen) || errors.Is(err, ErrOverloaded) {
+		return false
+	}
+	return true
+}
+
+// SleepBudgeted sleeps d unless ctx is cancelled first; it reports whether
+// the full sleep completed. The scheduler calls it between attempts after
+// charging d to the plan's latency budget.
+func SleepBudgeted(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -94,4 +94,18 @@ func (s *System) registerInstruments() {
 	r.GaugeFunc("blueprint_sessions_open", "open sessions", func() float64 {
 		return float64(len(s.Sessions.List()))
 	})
+
+	// Resilience: breaker states and governor occupancy (the counters —
+	// trips, rejections, sheds, degraded answers — are package-level in
+	// internal/resilience; these gauges read this System's instances and
+	// are nil-safe when breakers or the governor are disabled).
+	r.GaugeFunc("blueprint_breakers_open", "agents whose circuit breaker is open or half-open", func() float64 {
+		return float64(s.Breakers.OpenCount())
+	})
+	r.GaugeFunc("blueprint_governor_inflight", "governed asks holding admission slots", func() float64 {
+		return float64(s.Governor.Stats().InFlight)
+	})
+	r.GaugeFunc("blueprint_governor_queued", "governed asks waiting for an admission slot", func() float64 {
+		return float64(s.Governor.Stats().Queued)
+	})
 }

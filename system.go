@@ -1,6 +1,7 @@
 package blueprint
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"blueprint/internal/obs"
 	"blueprint/internal/planner"
 	"blueprint/internal/registry"
+	"blueprint/internal/resilience"
 	"blueprint/internal/session"
 	"blueprint/internal/streams"
 	"blueprint/internal/trace"
@@ -65,6 +67,14 @@ type System struct {
 	// Config.DataDir is set). Close takes a final snapshot through it;
 	// Snapshot and DurabilityStats expose it for operations.
 	Durability *durability.Engine
+	// Breakers holds the per-agent circuit breakers the scheduler
+	// consults before dispatch (nil when Config.DisableBreakers is set;
+	// nil is fully functional — everything is allowed).
+	Breakers *resilience.Set
+	// Governor is the overload-control admission governor used by
+	// GovernedAsk and blueprintd (nil unless Config.Governor.MaxConcurrent
+	// is set; a nil governor admits everything).
+	Governor *resilience.Governor
 	// Model is the simulated LLM shared by LLM-backed agents.
 	Model *llm.Model
 	// Enterprise is the generated YourJourney substrate (§II).
@@ -198,10 +208,22 @@ func New(cfg Config) (*System, error) {
 		}
 	}
 
+	// Resilience (§I "configured to scale and restart on failure"): failed
+	// steps retry under the latency budget, per-agent breakers stop
+	// dispatching to failing agents (serving freshness-valid stale memo
+	// entries instead when the policy allows), and the governor bounds
+	// concurrent governed asks with fair-share load shedding.
+	var breakers *resilience.Set
+	if !cfg.DisableBreakers {
+		breakers = resilience.NewSet(cfg.Breaker)
+	}
 	coord := coordinator.New(store, agentReg, tp, model, coordinator.Options{
 		RetryOnError: true,
 		MaxParallel:  cfg.MaxParallel,
 		Memo:         memoStore,
+		Retry:        cfg.Retry,
+		Breakers:     breakers,
+		Degrade:      cfg.Degrade,
 	})
 	sys := &System{
 		cfg:           cfg,
@@ -210,6 +232,8 @@ func New(cfg Config) (*System, error) {
 		DataRegistry:  dataReg,
 		Memo:          memoStore,
 		Durability:    eng,
+		Breakers:      breakers,
+		Governor:      resilience.NewGovernor(cfg.Governor),
 		Factory:       factory,
 		Sessions:      session.NewManager(store, factory),
 		TaskPlanner:   tp,
@@ -284,6 +308,21 @@ func (s *System) DurabilityStats() durability.Stats {
 	return s.Durability.Stats()
 }
 
+// GovernorStats reports the overload governor's admission ledger (zeros
+// when admission control is disabled): admitted, shed (with the tenant and
+// queue-timeout breakdowns), in-flight, queued and the in-flight peak.
+// blueprintd folds it into /stats; bpctl top renders it as the resilience
+// line.
+func (s *System) GovernorStats() resilience.GovernorStats {
+	return s.Governor.Stats()
+}
+
+// BreakerStates snapshots every per-agent circuit breaker's state (nil when
+// breakers are disabled or no agent has been dispatched yet).
+func (s *System) BreakerStates() map[string]resilience.State {
+	return s.Breakers.States()
+}
+
 // StandardAgents is the agent set spawned into every new session.
 var StandardAgents = []string{
 	hragents.AgenticEmployer, hragents.IntentClassifier, hragents.NL2Q,
@@ -351,6 +390,92 @@ func (sess *Session) Ask(text string, timeout time.Duration) (string, error) {
 		return "", err
 	}
 	return sess.awaitDisplay(before, "", timeout)
+}
+
+// askAgent is the synthetic memo namespace for whole-ask answers: governed
+// asks memoize their display answer under it so that, during overload, a
+// shed repeat ask can be answered from the stale entry instead of a bare
+// 429. Entries read the whole "hr" database, so any relational write
+// invalidates them (stale answers are stale only in time, never in version).
+const askAgent = "__ask__"
+
+// Answer is the result of a governed ask.
+type Answer struct {
+	// Text is the display answer.
+	Text string
+	// Degraded reports the answer was served from a stale memoized entry
+	// during overload instead of being executed.
+	Degraded bool
+	// StaleFor is the served entry's age when Degraded.
+	StaleFor time.Duration
+}
+
+// GovernedAsk is Ask behind the overload governor: the ask first claims an
+// admission slot for its tenant (waiting, bounded, when the daemon is at
+// capacity). A shed ask is answered from a freshness-valid stale memoized
+// answer when graceful degradation allows it — marked Degraded — and
+// otherwise fails with a *resilience.OverloadError carrying the advisory
+// Retry-After (blueprintd maps it to HTTP 429). Admitted asks execute
+// normally and memoize their answer for future degraded serves. A nil
+// governor (Config.Governor unset) admits everything immediately.
+func (sess *Session) GovernedAsk(ctx context.Context, tenant, text string, timeout time.Duration) (Answer, error) {
+	release, err := sess.sys.Governor.Admit(ctx, tenant)
+	if err != nil {
+		if ans, ok := sess.staleAnswer(text); ok {
+			return ans, nil
+		}
+		return Answer{}, err
+	}
+	defer release()
+	out, askErr := sess.Ask(text, timeout)
+	if askErr != nil {
+		return Answer{}, askErr
+	}
+	sess.rememberAnswer(text, out)
+	return Answer{Text: out}, nil
+}
+
+// askKey derives the memo key of an utterance's whole-ask answer.
+func askKey(text string) (memo.Key, bool) {
+	key, err := memo.ComputeKey(askAgent, 1, map[string]any{"text": text})
+	return key, err == nil
+}
+
+// rememberAnswer memoizes a completed ask's answer for degraded serving.
+func (sess *Session) rememberAnswer(text, out string) {
+	sys := sess.sys
+	if sys.Memo == nil || sys.cfg.Degrade.Disabled {
+		return
+	}
+	if key, ok := askKey(text); ok {
+		sys.Memo.Put(key, askAgent, []string{"hr"}, sys.cfg.AskFreshness, memo.Entry{
+			Outputs: map[string]any{"text": out},
+		})
+	}
+}
+
+// staleAnswer attempts the graceful-degradation path for a shed ask: a
+// resident memoized answer for the same utterance, within the staleness
+// bound Config.Degrade derives from Config.AskFreshness.
+func (sess *Session) staleAnswer(text string) (Answer, bool) {
+	sys := sess.sys
+	if sys.Memo == nil || sys.cfg.Degrade.Disabled {
+		return Answer{}, false
+	}
+	key, ok := askKey(text)
+	if !ok {
+		return Answer{}, false
+	}
+	ent, age, ok := sys.Memo.GetStale(key)
+	if !ok || !sys.cfg.Degrade.Allows(sys.cfg.AskFreshness, age) {
+		return Answer{}, false
+	}
+	out, _ := ent.Outputs["text"].(string)
+	if out == "" {
+		return Answer{}, false
+	}
+	sys.Governor.CountDegraded()
+	return Answer{Text: out, Degraded: true, StaleFor: age}, true
 }
 
 // Click posts a UI event (e.g. selecting a job) and waits for the resulting
