@@ -58,16 +58,23 @@ fuzz:
 # with an open-loop multi-tenant workload at 0.5x and 2x admission capacity
 # and enforces its own floors in every mode: baseline sheds <= 20%, overload
 # sheds some-but-not-everything, degraded answers are marked and
-# freshness-valid, and no goroutines leak. CI runs this on every push so
-# regressions surface immediately.
+# freshness-valid, and no goroutines leak. A12 drives the same open-loop
+# workload over real HTTP against the live blueprintd handler and checks
+# the flight recorder explains the overload: exemplars carry events and
+# deep span trees, the scraped per-tenant SLO burn exceeds 1 under overload
+# and the baseline, rings stay bounded, and the event log + recorder cost
+# <= 5% on a governed ask (full mode). Each table is also written as
+# machine-readable bench/BENCH_<ID>.json (archived by CI). CI runs this on
+# every push so regressions surface immediately.
 bench-smoke:
-	$(GO) run ./cmd/benchharness -fig A5 -short
-	$(GO) run ./cmd/benchharness -fig A6 -short
-	$(GO) run ./cmd/benchharness -fig A7 -short
-	$(GO) run ./cmd/benchharness -fig A8 -short
-	$(GO) run ./cmd/benchharness -fig A9 -short
-	$(GO) run ./cmd/benchharness -fig A10 -short
-	$(GO) run ./cmd/benchharness -fig A11 -short
+	$(GO) run ./cmd/benchharness -fig A5 -short -json bench
+	$(GO) run ./cmd/benchharness -fig A6 -short -json bench
+	$(GO) run ./cmd/benchharness -fig A7 -short -json bench
+	$(GO) run ./cmd/benchharness -fig A8 -short -json bench
+	$(GO) run ./cmd/benchharness -fig A9 -short -json bench
+	$(GO) run ./cmd/benchharness -fig A10 -short -json bench
+	$(GO) run ./cmd/benchharness -fig A11 -short -json bench
+	$(GO) run ./cmd/benchharness -fig A12 -short -json bench
 
 # Chaos suite: every Chaos* test activates the deterministic fault injector
 # (injected errors, latency, hangs or crashes at the agent, relational and

@@ -85,6 +85,7 @@ import (
 
 	"blueprint/internal/budget"
 	"blueprint/internal/llm"
+	"blueprint/internal/obs"
 	"blueprint/internal/optimizer"
 	"blueprint/internal/resilience"
 	"blueprint/internal/workload"
@@ -168,6 +169,25 @@ type Config struct {
 	// during overload may be (default 30s; with the default StaleFactor
 	// a shed ask may be answered from a result up to 2m old).
 	AskFreshness time.Duration
+	// SlowAskThreshold sets the flight recorder's capture threshold: asks
+	// slower than it (or erroring, degraded, shed) are captured with their
+	// span tree, event slice and cost breakdown into obs.SlowAsks, served
+	// at GET /slow. Zero leaves the process-global threshold alone
+	// (obs.DefaultSlowThreshold on a fresh process); negative disables
+	// capture.
+	SlowAskThreshold time.Duration
+	// SLO configures the per-tenant/per-agent SLO burn-rate accounting
+	// (latency target, objective, fast/slow windows); zero-value fields
+	// take obs defaults. Served at GET /slo, in /metrics and by bpctl top.
+	SLO obs.SLOConfig
+	// TraceSessions re-bounds the tracer's per-session span-ring map: past
+	// it, least-recently-active sessions' traces are evicted. Zero leaves
+	// the process-global bound alone (obs.DefaultMaxSessions).
+	TraceSessions int
+	// EventLevel sets the event log's minimum recorded level ("debug",
+	// "info", "warn", "error", "off"); empty leaves the process-global
+	// level alone (info).
+	EventLevel string
 }
 
 // withDefaults fills unset fields.

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	benchharness              # run all experiments
-//	benchharness -fig F7      # run one (F1..F10, A1..A10)
+//	benchharness -fig F7      # run one (F1..F10, A1..A12)
 //	benchharness -fig A4      # plan-cache ablation (statement-cache hit/miss counters)
 //	benchharness -fig A5      # concurrent DAG scheduler: fan-out speedup + multi-session throughput
 //	benchharness -fig A6      # step-result memoization: repeated-ask speedup + cross-session dedup
@@ -12,23 +12,29 @@
 //	benchharness -fig A9      # front end: shape-keyed plan cache vs exact keying on literal-inlined SQL
 //	benchharness -fig A10     # observability: instrumented vs uninstrumented ask throughput
 //	benchharness -fig A11     # resilience: overload control under open-loop multi-tenant load
+//	benchharness -fig A12     # flight recorder: exemplars, event log, SLO burn over real HTTP
 //	benchharness -seed 7      # change the deterministic seed
 //	benchharness -short       # reduced iterations/latencies (smoke mode, used by make bench-smoke)
+//	benchharness -json DIR    # also write each table as machine-readable DIR/BENCH_<ID>.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"blueprint/internal/experiments"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment id to run (F1..F10, A1..A11, or 'all')")
+	fig := flag.String("fig", "all", "experiment id to run (F1..F10, A1..A12, or 'all')")
 	seed := flag.Int64("seed", 42, "deterministic seed for workloads and the simulated LLM")
 	short := flag.Bool("short", false, "smoke mode: reduced iterations and simulated latencies")
+	jsonDir := flag.String("json", "", "directory to write BENCH_<ID>.json files (empty: text only)")
 	flag.Parse()
 	experiments.Short = *short
 
@@ -54,12 +60,16 @@ func main() {
 		"A9":  experiments.FrontendShapeCache,
 		"A10": experiments.AblationObservability,
 		"A11": experiments.AblationResilience,
+		"A12": experiments.FlightRecorder,
 	}
 
 	if strings.EqualFold(*fig, "all") {
 		tables, err := experiments.All(*seed)
 		for _, t := range tables {
 			fmt.Println(t)
+			if werr := writeJSON(*jsonDir, t); werr != nil {
+				log.Fatal(werr)
+			}
 		}
 		if err != nil {
 			log.Fatal(err)
@@ -68,11 +78,31 @@ func main() {
 	}
 	run, ok := runners[strings.ToUpper(*fig)]
 	if !ok {
-		log.Fatalf("unknown experiment %q (want F1..F10, A1..A11, all)", *fig)
+		log.Fatalf("unknown experiment %q (want F1..F10, A1..A12, all)", *fig)
 	}
 	t, err := run(*seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(t)
+	if err := writeJSON(*jsonDir, t); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// writeJSON persists one table as DIR/BENCH_<ID>.json so CI can archive the
+// raw figures next to the rendered text.
+func writeJSON(dir string, t *experiments.Table) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+t.ID+".json")
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }

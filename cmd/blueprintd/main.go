@@ -1,24 +1,10 @@
 // blueprintd serves a blueprint System over HTTP — the "deployed in a
 // distributed system" face of the architecture, exposing sessions, the
-// conversational surface, both registries and stream observability.
-//
-// Endpoints:
-//
-//	POST /sessions                         -> {"id": "session:1"}
-//	POST /sessions/{id}/ask    {"text":..} -> {"answer": ...}
-//	POST /sessions/{id}/click  {event}     -> {"answer": ...}
-//	GET  /sessions/{id}/flow               -> per-message flow trace
-//	GET  /agents                           -> agent registry contents
-//	GET  /data                             -> data registry contents
-//	GET  /stats                            -> flat registry snapshot (all counters + quantiles)
-//	GET  /memo                             -> step-result memoization stats
-//	GET  /metrics                          -> Prometheus text exposition (0.0.4)
-//	GET  /trace/{id}                       -> span tree for a session's recent asks
-//	POST /snapshot                         -> take a durability snapshot now
-//
-// With -pprof, net/http/pprof's profiling handlers are additionally served
-// under /debug/pprof/ (off by default: profiling endpoints are a debugging
-// surface, not a production one).
+// conversational surface, both registries, stream observability, the
+// structured event log, the slow-ask flight recorder and SLO burn rates.
+// The handler surface itself lives in internal/httpapi (see its Server doc
+// for the endpoint list); this binary binds it to flags, a listener and a
+// graceful-shutdown lifecycle.
 //
 // Deploy-time tuning: -parallel bounds how many plan steps the coordinator
 // executes concurrently per plan, -memo bounds the step-result memoization
@@ -37,40 +23,28 @@
 // within the staleness budget is answered from the memoized previous answer,
 // marked "degraded": true. -read-timeout, -write-timeout and -idle-timeout
 // bound the HTTP connection itself (slowloris defense).
+//
+// Flight-recorder tuning: -slow-threshold sets the latency past which an
+// ask is captured with its span tree, events and cost breakdown (negative
+// disables), -event-level the event log's minimum recorded level, and
+// -slo-target / -slo-objective the SLO burn-rate accounting served at /slo.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"log"
-	"math"
 	"net/http"
-	"net/http/pprof"
 	"os/signal"
-	"strconv"
-	"strings"
-	"sync"
 	"syscall"
 	"time"
 
 	"blueprint"
+	"blueprint/internal/httpapi"
 	"blueprint/internal/obs"
 	"blueprint/internal/resilience"
 )
-
-type server struct {
-	sys *blueprint.System
-	mu  sessionMap
-}
-
-// sessionMap guards the live session handles against concurrent HTTP
-// clients (POST /sessions racing asks and /stats reads).
-type sessionMap struct {
-	sync.RWMutex
-	sessions map[string]*blueprint.Session
-}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -89,6 +63,10 @@ func main() {
 	readTO := flag.Duration("read-timeout", 30*time.Second, "max time to read a request, headers included (slowloris bound)")
 	writeTO := flag.Duration("write-timeout", 60*time.Second, "max time to write a response")
 	idleTO := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
+	slowThresh := flag.Duration("slow-threshold", 0, "flight-recorder capture threshold for slow asks (0 = default 800ms, negative = disable)")
+	eventLevel := flag.String("event-level", "", "event log minimum level: debug, info, warn, error, off (empty = info)")
+	sloTarget := flag.Duration("slo-target", 0, "SLO latency target classifying an ask as slow (0 = default 1s)")
+	sloObjective := flag.Float64("slo-objective", 0, "SLO good-fraction objective, e.g. 0.99 (0 = default)")
 	flag.Parse()
 
 	sys, err := blueprint.New(blueprint.Config{
@@ -100,30 +78,16 @@ func main() {
 			QueueTimeout: *queueTO, TenantShare: *tenantShare,
 			RetryAfter: *queueTO,
 		},
+		SlowAskThreshold: *slowThresh,
+		EventLevel:       *eventLevel,
+		SLO:              obs.SLOConfig{LatencyTarget: *sloTarget, Objective: *sloObjective},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	s := &server{sys: sys, mu: sessionMap{sessions: map[string]*blueprint.Session{}}}
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /sessions", s.createSession)
-	mux.HandleFunc("POST /sessions/{id}/ask", s.ask)
-	mux.HandleFunc("POST /sessions/{id}/click", s.click)
-	mux.HandleFunc("GET /sessions/{id}/flow", s.flow)
-	mux.HandleFunc("GET /agents", s.agents)
-	mux.HandleFunc("GET /data", s.data)
-	mux.HandleFunc("GET /stats", s.stats)
-	mux.HandleFunc("GET /memo", s.memo)
-	mux.HandleFunc("GET /metrics", s.metrics)
-	mux.HandleFunc("GET /trace/{id}", s.trace)
-	mux.HandleFunc("POST /snapshot", s.snapshot)
+	handler := httpapi.New(sys, httpapi.Options{Pprof: *pprofOn})
 	if *pprofOn {
-		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 		log.Printf("pprof on at /debug/pprof/")
 	}
 
@@ -142,7 +106,7 @@ func main() {
 	// Connection-level timeouts: a client trickling bytes (slowloris) is cut
 	// off instead of pinning a goroutine and an admission slot forever.
 	srv := &http.Server{
-		Addr: *addr, Handler: mux,
+		Addr: *addr, Handler: handler,
 		ReadTimeout:       *readTO,
 		ReadHeaderTimeout: *readTO,
 		WriteTimeout:      *writeTO,
@@ -171,215 +135,4 @@ func main() {
 		st := sys.DurabilityStats()
 		log.Printf("durability closed: snapshots=%d appends=%d log_bytes=%d", st.Snapshots, st.Appends, st.LogBytes)
 	}
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.sys.StartSession("")
-	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
-		return
-	}
-	s.mu.Lock()
-	s.mu.sessions[sess.ID] = sess
-	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, map[string]string{"id": sess.ID})
-}
-
-func (s *server) session(w http.ResponseWriter, r *http.Request) *blueprint.Session {
-	id := r.PathValue("id")
-	if !strings.HasPrefix(id, "session:") {
-		id = "session:" + id
-	}
-	s.mu.RLock()
-	sess, ok := s.mu.sessions[id]
-	s.mu.RUnlock()
-	if !ok {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown session " + id})
-		return nil
-	}
-	return sess
-}
-
-func (s *server) ask(w http.ResponseWriter, r *http.Request) {
-	sess := s.session(w, r)
-	if sess == nil {
-		return
-	}
-	var body struct {
-		Text    string `json:"text"`
-		Timeout int    `json:"timeout_ms"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Text == "" {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "body must be {\"text\": ...}"})
-		return
-	}
-	timeout := 15 * time.Second
-	if body.Timeout > 0 {
-		timeout = time.Duration(body.Timeout) * time.Millisecond
-	}
-	tenant := r.Header.Get("X-Tenant")
-	if tenant == "" {
-		tenant = "default"
-	}
-	ans, err := sess.GovernedAsk(r.Context(), tenant, body.Text, timeout)
-	if err != nil {
-		var ov *resilience.OverloadError
-		if errors.As(err, &ov) {
-			// Shed: 429 with the governor's advisory backoff. Retry-After
-			// is whole seconds (RFC 9110), rounded up so "1s" never
-			// becomes "0".
-			secs := int(math.Ceil(ov.RetryAfter.Seconds()))
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			writeJSON(w, http.StatusTooManyRequests, map[string]any{
-				"error": err.Error(), "retry_after_ms": ov.RetryAfter.Milliseconds(),
-			})
-			return
-		}
-		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": err.Error()})
-		return
-	}
-	out := map[string]any{"answer": ans.Text}
-	if ans.Degraded {
-		out["degraded"] = true
-		out["stale_for_ms"] = ans.StaleFor.Milliseconds()
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *server) click(w http.ResponseWriter, r *http.Request) {
-	sess := s.session(w, r)
-	if sess == nil {
-		return
-	}
-	var event map[string]any
-	if err := json.NewDecoder(r.Body).Decode(&event); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "body must be a UI event object"})
-		return
-	}
-	answer, err := sess.Click(event, 15*time.Second)
-	if err != nil {
-		writeJSON(w, http.StatusGatewayTimeout, map[string]string{"error": err.Error()})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"answer": answer})
-}
-
-func (s *server) flow(w http.ResponseWriter, r *http.Request) {
-	sess := s.session(w, r)
-	if sess == nil {
-		return
-	}
-	steps := sess.Flow()
-	out := make([]map[string]any, len(steps))
-	for i, st := range steps {
-		out[i] = map[string]any{
-			"ts": st.TS, "sender": st.Sender, "stream": st.Stream,
-			"kind": st.Kind.String(), "op": st.Op, "tags": st.Tags, "payload": st.Payload,
-		}
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *server) agents(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.sys.AgentRegistry.List())
-}
-
-func (s *server) data(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.sys.DataRegistry.List("", ""))
-}
-
-// stats serves a thin view over the metrics registry: every registered
-// instrument flattened to name->value (histograms as _count/_sum/_p50/_p95/
-// _p99), plus the few non-numeric or derived fields a registry cannot carry
-// (version string, hit-rate ratios, recovery summary).
-func (s *server) stats(w http.ResponseWriter, r *http.Request) {
-	ms := s.sys.MemoStats()
-	cs := s.sys.Enterprise.DB.CacheStats()
-	s.mu.RLock()
-	sessions := len(s.mu.sessions)
-	s.mu.RUnlock()
-	ds := s.sys.DurabilityStats()
-	breakers := map[string]string{}
-	for name, st := range s.sys.BreakerStates() {
-		breakers[name] = st.String()
-	}
-	out := map[string]any{
-		"version": blueprint.Version, "sessions": sessions,
-		"memo_hit_rate":                 ms.HitRate(),
-		"stmt_cache_hit_rate":           cs.HitRate(),
-		"governor_enabled":              s.sys.Governor != nil,
-		"breakers":                      breakers,
-		"durability_enabled":            s.sys.Durability != nil,
-		"durability_segments":           ds.Segments,
-		"durability_last_recovery":      ds.Recovery.Duration.String(),
-		"durability_snapshot_restored":  ds.Recovery.SnapshotRestored,
-		"durability_replayed_records":   ds.Recovery.ReplayedRecords,
-		"durability_torn_tail_repaired": ds.Recovery.TornTailTruncated,
-	}
-	for name, v := range obs.Default.Snapshot() {
-		out[name] = v
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-// metrics serves the registry in Prometheus text exposition format.
-func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = obs.Default.WritePrometheus(w)
-}
-
-// trace serves a session's recorded span tree: the raw spans plus a
-// rendered tree (what bpctl trace prints).
-func (s *server) trace(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if !strings.HasPrefix(id, "session:") {
-		id = "session:" + id
-	}
-	spans := obs.Spans.Session(id)
-	if len(spans) == 0 {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no trace recorded for " + id})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"session": id,
-		"spans":   spans,
-		"tree":    obs.RenderTree(spans),
-	})
-}
-
-// snapshot triggers a durability snapshot on demand (POST /snapshot).
-func (s *server) snapshot(w http.ResponseWriter, r *http.Request) {
-	if err := s.sys.Snapshot(); err != nil {
-		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
-		return
-	}
-	st := s.sys.DurabilityStats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"snapshots":      st.Snapshots,
-		"snapshot_bytes": st.SnapshotBytes,
-		"log_bytes":      st.LogBytes,
-		"segments":       st.Segments,
-	})
-}
-
-func (s *server) memo(w http.ResponseWriter, r *http.Request) {
-	ms := s.sys.MemoStats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"enabled":       s.sys.Memo != nil,
-		"hits":          ms.Hits,
-		"misses":        ms.Misses,
-		"hit_rate":      ms.HitRate(),
-		"coalesced":     ms.Coalesced,
-		"evictions":     ms.Evictions,
-		"invalidations": ms.Invalidations,
-		"entries":       ms.Entries,
-		"saved_cost":    ms.SavedCost,
-		"saved_latency": ms.SavedLatency.String(),
-	})
 }

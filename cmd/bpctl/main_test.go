@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"blueprint"
+	"blueprint/internal/httpapi"
+	"blueprint/internal/obs"
+	"blueprint/internal/resilience"
+)
+
+// startDaemon boots a governed System behind a real HTTP listener — the
+// remote commands exercise the same wire path they use against a live
+// blueprintd.
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	sys, err := blueprint.New(blueprint.Config{
+		ModelAccuracy:    1.0,
+		Governor:         resilience.GovernorConfig{MaxConcurrent: 4},
+		SlowAskThreshold: time.Nanosecond, // capture every ask
+		EventLevel:       "debug",
+		SLO:              obs.SLOConfig{LatencyTarget: time.Nanosecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	t.Cleanup(func() {
+		obs.SlowAsks.SetThreshold(obs.DefaultSlowThreshold)
+		obs.Events.SetLevel(obs.LevelInfo)
+	})
+	srv := httptest.NewServer(httpapi.New(sys, httpapi.Options{}))
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+// askOverHTTP creates a session and drives one ask, returning the session id.
+func askOverHTTP(t *testing.T, base, text string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/sessions", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := strings.TrimPrefix(created.ID, "session:")
+	body, _ := json.Marshal(map[string]string{"text": text})
+	resp, err = http.Post(base+"/sessions/"+id+"/ask", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ask = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Trace-Id") == "" {
+		t.Fatal("ask response missing X-Trace-Id")
+	}
+	return id
+}
+
+func TestRemoteCommandsAgainstLiveDaemon(t *testing.T) {
+	base := startDaemon(t)
+	id := askOverHTTP(t, base, "Summarize the applicants for job 3")
+
+	// trace: the session's span tree.
+	var out bytes.Buffer
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out.Reset()
+		if err := remoteTrace(&out, base, id); err == nil && strings.Contains(out.String(), "session/ask") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace never showed the ask root:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(out.String(), "session:"+id) {
+		t.Fatalf("trace output missing session id:\n%s", out.String())
+	}
+
+	// events: the governed ask's admit decision at debug level.
+	out.Reset()
+	if err := remoteEvents(&out, base, ""); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "event log: head=") {
+		t.Fatalf("events header missing:\n%s", text)
+	}
+	if !strings.Contains(text, "governor") || !strings.Contains(text, "admit") {
+		t.Fatalf("events output missing governor admit:\n%s", text)
+	}
+	// Level filter drops the debug admits.
+	out.Reset()
+	if err := remoteEvents(&out, base, "error"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "admit") {
+		t.Fatalf("error-level filter kept debug events:\n%s", out.String())
+	}
+
+	// slow: list plus one full recording with span tree and breakdown.
+	out.Reset()
+	if err := remoteSlow(&out, base, ""); err != nil {
+		t.Fatal(err)
+	}
+	text = out.String()
+	if !strings.Contains(text, "slow asks: threshold=") || !strings.Contains(text, "slow") {
+		t.Fatalf("slow list output:\n%s", text)
+	}
+	out.Reset()
+	if err := remoteSlow(&out, base, "latest"); err != nil {
+		t.Fatal(err)
+	}
+	text = out.String()
+	for _, want := range []string{"exemplar", "trace=", "spans (", "session/ask", "cost: $"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("slow latest output missing %q:\n%s", want, text)
+		}
+	}
+
+	// top: the one-shot summary including the SLO burn line for the tenant
+	// (1ns latency target makes every ask slow, so the burn is nonzero).
+	out.Reset()
+	if err := remoteTop(&out, base); err != nil {
+		t.Fatal(err)
+	}
+	text = out.String()
+	for _, want := range []string{"asks      total=", "resil     admitted=", "slo       tenant default"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("top output missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "burn fast=") {
+		t.Fatalf("top output missing burn rates:\n%s", text)
+	}
+}
+
+func TestRemoteCommandsConnectionRefused(t *testing.T) {
+	var out bytes.Buffer
+	if err := remoteTop(&out, "http://127.0.0.1:1"); err == nil {
+		t.Fatal("top against a dead daemon must error")
+	}
+	if err := remoteEvents(&out, "http://127.0.0.1:1", ""); err == nil {
+		t.Fatal("events against a dead daemon must error")
+	}
+	if err := remoteSlow(&out, "http://127.0.0.1:1", ""); err == nil {
+		t.Fatal("slow against a dead daemon must error")
+	}
+	if err := remoteTrace(&out, "http://127.0.0.1:1", "x"); err == nil {
+		t.Fatal("trace against a dead daemon must error")
+	}
+}

@@ -143,6 +143,10 @@ type Options struct {
 	// open: a resident entry whose age is within the policy's bound of the
 	// agent's declared Freshness answers the step, marked Degraded.
 	Degrade resilience.DegradePolicy
+	// SLO, when set, receives one per-agent observation per fresh step
+	// execution attempt (latency + error), feeding the per-agent burn
+	// rates GET /slo and bpctl top report. nil disables (nil-safe).
+	SLO *obs.SLOTracker
 }
 
 // Coordinator executes task plans over a stream store.

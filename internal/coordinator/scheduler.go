@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -360,8 +361,10 @@ func (s *scheduler) executeAttempts(ctx context.Context, step planner.Step, inpu
 	var sr StepResult
 	var err error
 	for attempt := 1; ; attempt++ {
+		attemptStart := time.Now()
 		sr, err = s.c.executeStep(ctx, s.session, s.plan, step, inputs, s.c.stepDeadline(s.budget), attempt)
 		s.c.opts.Breakers.Record(step.Agent, err == nil)
+		s.c.opts.SLO.Record(obs.SLOAgent, step.Agent, time.Since(attemptStart), err != nil)
 		if err == nil || attempt >= attempts || !resilience.Retryable(err) || s.ctx.Err() != nil {
 			return sr, err
 		}
@@ -387,6 +390,19 @@ func (s *scheduler) executeAttempts(ctx context.Context, step planner.Step, inpu
 		s.mu.Lock()
 		s.res.Retries++
 		s.mu.Unlock()
+		if obs.Events.On(obs.LevelInfo) {
+			obs.Events.Append(obs.Event{
+				Level: obs.LevelInfo, Component: "scheduler", Kind: "retry",
+				Session: s.session,
+				Attrs: []obs.Attr{
+					{Key: "step", Value: step.ID},
+					{Key: "agent", Value: step.Agent},
+					{Key: "attempt", Value: strconv.Itoa(attempt)},
+					{Key: "backoff", Value: pol.Backoff(attempt).String()},
+					{Key: "error", Value: obs.Truncate(err.Error(), 120)},
+				},
+			})
+		}
 	}
 }
 
@@ -413,6 +429,17 @@ func (s *scheduler) serveStale(step planner.Step, inputs map[string]any) (stepOu
 		return stepOutcome{}, false
 	}
 	mStepsStale.Inc()
+	if obs.Events.On(obs.LevelWarn) {
+		obs.Events.Append(obs.Event{
+			Level: obs.LevelWarn, Component: "scheduler", Kind: "degraded-serve",
+			Session: s.session,
+			Attrs: []obs.Attr{
+				{Key: "step", Value: step.ID},
+				{Key: "agent", Value: step.Agent},
+				{Key: "stale_for", Value: age.String()},
+			},
+		})
+	}
 	sr := StepResult{StepID: step.ID, Agent: step.Agent, Outputs: entry.Outputs, Cached: true, Degraded: true, StaleFor: age}
 	vs := s.budget.ChargeMemoHit(step.ID+":"+step.Agent+":stale", spec.QoS.Accuracy)
 	s.mu.Lock()
@@ -446,6 +473,18 @@ func (s *scheduler) replanOrFail(ctx context.Context, step planner.Step, inputs 
 			s.res.Replans++
 			s.mu.Unlock()
 			alt, _ := np.Step(step.ID)
+			if obs.Events.On(obs.LevelWarn) {
+				obs.Events.Append(obs.Event{
+					Level: obs.LevelWarn, Component: "scheduler", Kind: "replan",
+					Session: s.session,
+					Attrs: []obs.Attr{
+						{Key: "step", Value: step.ID},
+						{Key: "from", Value: step.Agent},
+						{Key: "to", Value: alt.Agent},
+						{Key: "error", Value: obs.Truncate(execErr.Error(), 120)},
+					},
+				})
+			}
 			// Re-admit the retry: the alternative agent's projected cost
 			// may differ from the reservation held for the failed one, and
 			// executing it unreserved would reopen the joint-overshoot
@@ -466,8 +505,10 @@ func (s *scheduler) replanOrFail(ctx context.Context, step planner.Step, inputs 
 					confirmed = true
 				}
 			}
+			replanStart := time.Now()
 			sr, execErr = s.c.executeStep(ctx, s.session, np, alt, inputs, s.c.stepDeadline(s.budget), 1)
 			s.c.opts.Breakers.Record(alt.Agent, execErr == nil)
+			s.c.opts.SLO.Record(obs.SLOAgent, alt.Agent, time.Since(replanStart), execErr != nil)
 			if execErr == nil {
 				step = alt
 			}

@@ -18,12 +18,18 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"blueprint/internal/obs"
 	"blueprint/internal/resilience"
 )
+
+// commitSampler thins the per-group-commit debug events (1 in 8 flush
+// leaders record one).
+var commitSampler = obs.NewSampler(8)
 
 // Loggable is the contract a subsystem implements to plug into the engine.
 //
@@ -532,6 +538,7 @@ func (e *Engine) commit(seq uint64) error {
 			continue
 		}
 		e.flushing = true
+		prev := e.flushedSeq
 		e.cmu.Unlock()
 		flushed, err := e.flushAndSync()
 		e.cmu.Lock()
@@ -542,6 +549,14 @@ func (e *Engine) commit(seq uint64) error {
 		e.ccond.Broadcast()
 		if err != nil {
 			return err
+		}
+		// One debug event per elected flush leader, sampled: group commits
+		// are the WAL's steady state, so only a thinned stream is recorded —
+		// enough to see batch coverage without washing out the event ring.
+		if flushed > prev && obs.Events.On(obs.LevelDebug) && commitSampler.Allow() {
+			obs.Events.Emit(obs.LevelDebug, "durability", "group-commit",
+				obs.Attr{Key: "batch", Value: strconv.FormatUint(flushed-prev, 10)},
+				obs.Attr{Key: "flushed_seq", Value: strconv.FormatUint(flushed, 10)})
 		}
 	}
 	return nil

@@ -19,22 +19,23 @@ var Short bool
 
 // Metric is one measured value.
 type Metric struct {
-	Name  string
-	Value string
+	Name  string `json:"name"`
+	Value string `json:"value"`
 }
 
 // Row is one series point of an experiment.
 type Row struct {
-	Series  string
-	Metrics []Metric
+	Series  string   `json:"series"`
+	Metrics []Metric `json:"metrics"`
 }
 
-// Table is one experiment's result.
+// Table is one experiment's result. The JSON shape is what benchharness
+// -json writes as BENCH_<ID>.json for CI artifacts.
 type Table struct {
-	ID    string // "F1".."F10", "A1".."A11"
-	Title string
-	Rows  []Row
-	Notes []string
+	ID    string   `json:"id"` // "F1".."F10", "A1".."A12"
+	Title string   `json:"title"`
+	Rows  []Row    `json:"rows"`
+	Notes []string `json:"notes,omitempty"`
 }
 
 // String renders the table as aligned text.
@@ -89,6 +90,7 @@ func All(seed int64) ([]*Table, error) {
 		{"A9", FrontendShapeCache},
 		{"A10", AblationObservability},
 		{"A11", AblationResilience},
+		{"A12", FlightRecorder},
 	}
 	out := make([]*Table, 0, len(exps))
 	for _, e := range exps {

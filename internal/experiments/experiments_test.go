@@ -18,8 +18,8 @@ func TestAllExperimentsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 21 {
-		t.Fatalf("tables = %d, want 21", len(tables))
+	if len(tables) != 22 {
+		t.Fatalf("tables = %d, want 22", len(tables))
 	}
 	byID := map[string]*Table{}
 	for _, tb := range tables {

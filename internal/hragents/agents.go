@@ -9,6 +9,7 @@ import (
 	"blueprint/internal/agent"
 	"blueprint/internal/dataplan"
 	"blueprint/internal/nlq"
+	"blueprint/internal/obs"
 	"blueprint/internal/planner"
 	"blueprint/internal/registry"
 	"blueprint/internal/relational"
@@ -200,12 +201,19 @@ func (s *Suite) nl2qSpec() registry.AgentSpec {
 func (s *Suite) nl2qProc() agent.Processor {
 	return func(ctx context.Context, inv agent.Invocation) (agent.Outputs, error) {
 		q, _ := inv.Inputs["NLQ"].(string)
+		// The planning step is spanned in its own component: table discovery
+		// plus NLQ->SQL compilation is where a mistranslated question goes
+		// wrong, so slow-ask exemplars must be able to point at it.
+		_, sp := obs.StartSpan(ctx, "planner", "nl2q")
 		table := s.discoverTable(q)
+		sp.SetAttr("table", table)
 		tgt, err := dataplan.BuildTarget(s.Ent.DB, table)
 		if err != nil {
+			sp.End()
 			return agent.Outputs{}, err
 		}
 		c, err := nlq.Compile(q, tgt)
+		sp.End()
 		if err != nil {
 			return agent.Outputs{}, err
 		}

@@ -17,6 +17,31 @@ func bucketSuffix(le float64) string {
 	return `_bucket{le="` + formatFloat(le) + `"}`
 }
 
+// EscapeLabel escapes a Prometheus label value per the text exposition
+// format: backslash, double quote and newline must be escaped or a hostile
+// value (a tenant name is client-controlled via X-Tenant) could break out
+// of its label and forge samples.
+func EscapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"container/list"
 	"context"
 	"strconv"
 	"sync"
@@ -33,9 +34,10 @@ import (
 var Spans = NewTracer()
 
 const (
-	// maxSessions bounds how many per-session rings the tracer retains;
-	// beyond it the oldest session's trace is evicted.
-	maxSessions = 128
+	// DefaultMaxSessions bounds how many per-session rings the tracer
+	// retains; beyond it the least-recently-active session's trace is
+	// evicted (SetMaxSessions overrides; System wires Config.TraceSessions).
+	DefaultMaxSessions = 128
 	// ringCapacity bounds each session's span ring; older spans are
 	// overwritten (an ask on the hragents suite is ~20-40 spans, so the
 	// ring holds the last ~50-100 asks of a session).
@@ -74,6 +76,10 @@ type Span struct {
 	component string
 	name      string
 	start     time.Time
+	// open counts this ask's started-but-unended spans, shared down the
+	// tree from the root (via ctx, resume and active-root anchoring). The
+	// flight recorder polls it to know when the tree has quiesced.
+	open *atomic.Int64
 
 	mu    sync.Mutex
 	attrs []Attr
@@ -110,6 +116,21 @@ func (s *Span) End() {
 		ID: s.id, Parent: s.parent, Component: s.component, Name: s.name,
 		Start: s.start, Dur: time.Since(s.start), Attrs: attrs,
 	}, s.parent == 0, s.id)
+	if s.open != nil {
+		s.open.Add(-1)
+	}
+}
+
+// OpenInTree reports how many spans of this span's ask tree (itself
+// included) have started but not yet ended. Zero for nil spans. The
+// flight recorder uses it to wait for the tree to quiesce before
+// snapshotting — agents end their spans a hair after the answer is
+// displayed.
+func (s *Span) OpenInTree() int64 {
+	if s == nil || s.open == nil {
+		return 0
+	}
+	return s.open.Load()
 }
 
 // ID returns the span id (0 for nil).
@@ -129,49 +150,93 @@ func (s *Span) Token() string {
 	return strconv.FormatUint(s.id, 36)
 }
 
-// Tracer records spans into bounded per-session rings.
+// Tracer records spans into bounded per-session rings. The session map
+// itself is bounded too: past maxSessions the least-recently-active
+// session's trace is evicted, so a daemon churning through millions of
+// short sessions holds a constant amount of trace memory.
 type Tracer struct {
 	nextID atomic.Uint64
 
 	mu       sync.Mutex
-	sessions map[string]*sessionTrace
-	order    []string // FIFO for session eviction
+	max      int
+	sessions map[string]*list.Element // of *sessionTrace
+	lru      *list.List               // least-recently-active at the front
 }
 
 type sessionTrace struct {
+	id string
+
 	mu         sync.Mutex
 	ring       []SpanData
 	next       int // ring write cursor
 	full       bool
 	activeRoot uint64
+	// rootOpen is the active root's open-span counter; spans anchored or
+	// resumed under it (no ctx to inherit through) attach here.
+	rootOpen *atomic.Int64
 }
 
-// NewTracer creates an empty tracer.
+// NewTracer creates an empty tracer with the default session bound.
 func NewTracer() *Tracer {
-	return &Tracer{sessions: map[string]*sessionTrace{}}
+	return &Tracer{max: DefaultMaxSessions, sessions: map[string]*list.Element{}, lru: list.New()}
 }
 
+// SetMaxSessions re-bounds the per-session ring map (minimum 1), evicting
+// least-recently-active sessions if already above the new bound.
+func (t *Tracer) SetMaxSessions(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	t.max = n
+	t.evictLocked()
+	t.mu.Unlock()
+}
+
+// SessionCount returns the number of retained session rings.
+func (t *Tracer) SessionCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.sessions)
+}
+
+func (t *Tracer) evictLocked() {
+	for len(t.sessions) > t.max {
+		front := t.lru.Front()
+		st := front.Value.(*sessionTrace)
+		t.lru.Remove(front)
+		delete(t.sessions, st.id)
+	}
+}
+
+// session looks a session's ring up. A create (span activity) bumps the
+// session to most-recently-active; pure reads leave the LRU order alone.
 func (t *Tracer) session(id string, create bool) *sessionTrace {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	st, ok := t.sessions[id]
-	if !ok && create {
-		st = &sessionTrace{ring: make([]SpanData, 0, 64)}
-		t.sessions[id] = st
-		t.order = append(t.order, id)
-		if len(t.order) > maxSessions {
-			evict := t.order[0]
-			t.order = t.order[1:]
-			delete(t.sessions, evict)
+	el, ok := t.sessions[id]
+	if ok {
+		if create {
+			t.lru.MoveToBack(el)
 		}
+		return el.Value.(*sessionTrace)
 	}
+	if !create {
+		return nil
+	}
+	st := &sessionTrace{id: id, ring: make([]SpanData, 0, 64)}
+	t.sessions[id] = t.lru.PushBack(st)
+	t.evictLocked()
 	return st
 }
 
-func (t *Tracer) newSpan(session string, parent uint64, component, name string) *Span {
+func (t *Tracer) newSpan(session string, parent uint64, component, name string, open *atomic.Int64) *Span {
+	if open != nil {
+		open.Add(1)
+	}
 	return &Span{
 		t: t, session: session, id: t.nextID.Add(1), parent: parent,
-		component: component, name: name, start: time.Now(),
+		component: component, name: name, start: time.Now(), open: open,
 	}
 }
 
@@ -183,10 +248,11 @@ func (t *Tracer) StartRoot(session, component, name string) *Span {
 	if !enabled.Load() {
 		return nil
 	}
-	sp := t.newSpan(session, 0, component, name)
+	sp := t.newSpan(session, 0, component, name, new(atomic.Int64))
 	st := t.session(session, true)
 	st.mu.Lock()
 	st.activeRoot = sp.id
+	st.rootOpen = sp.open
 	st.mu.Unlock()
 	return sp
 }
@@ -203,12 +269,12 @@ func (t *Tracer) StartUnder(session, component, name string) *Span {
 		return nil
 	}
 	st.mu.Lock()
-	root := st.activeRoot
+	root, open := st.activeRoot, st.rootOpen
 	st.mu.Unlock()
 	if root == 0 {
 		return nil
 	}
-	return t.newSpan(session, root, component, name)
+	return t.newSpan(session, root, component, name, open)
 }
 
 // Resume continues a trace across a stream boundary: token is a parent
@@ -222,10 +288,20 @@ func (t *Tracer) Resume(session, token, component, name string) *Span {
 	if err != nil || parent == 0 {
 		return t.StartUnder(session, component, name)
 	}
-	if t.session(session, false) == nil {
+	st := t.session(session, false)
+	if st == nil {
 		return nil
 	}
-	return t.newSpan(session, parent, component, name)
+	// A resumed span belongs to whichever ask published the token; the
+	// session's active ask is the overwhelmingly common (and only
+	// observable) case, so it charges that root's open counter.
+	st.mu.Lock()
+	open := st.rootOpen
+	if st.activeRoot == 0 {
+		open = nil
+	}
+	st.mu.Unlock()
+	return t.newSpan(session, parent, component, name, open)
 }
 
 // record appends a completed span to the session ring; a completed root
@@ -244,6 +320,7 @@ func (t *Tracer) record(session string, d SpanData, isRoot bool, id uint64) {
 	}
 	if isRoot && st.activeRoot == id {
 		st.activeRoot = 0
+		st.rootOpen = nil
 	}
 	st.mu.Unlock()
 }
@@ -265,18 +342,58 @@ func (t *Tracer) Session(session string) []SpanData {
 	return out
 }
 
-// Sessions lists the sessions with recorded traces, oldest first.
+// Tree returns the session's recorded spans belonging to the subtree
+// rooted at root (the root itself included), oldest first — the flight
+// recorder's one-ask view of a ring that may hold many asks. A root of 0
+// returns every recorded span.
+func (t *Tracer) Tree(session string, root uint64) []SpanData {
+	spans := t.Session(session)
+	if root == 0 || len(spans) == 0 {
+		return spans
+	}
+	// Membership cannot assume ring order: a parent usually ends — and so
+	// is recorded — after its children, but the ROOT ends the moment the
+	// answer displays, a hair before the ask's laggard spans (the posting
+	// agent and its scheduler/coordinator ancestors) land behind it. Walk
+	// parent links to a fixpoint instead; each pass claims at least one
+	// tree level, so iterations are bounded by tree depth.
+	keep := make(map[uint64]bool, len(spans))
+	keep[root] = true
+	for grew := true; grew; {
+		grew = false
+		for _, d := range spans {
+			if !keep[d.ID] && keep[d.Parent] {
+				keep[d.ID] = true
+				grew = true
+			}
+		}
+	}
+	out := make([]SpanData, 0, len(spans))
+	for _, d := range spans {
+		if keep[d.ID] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Sessions lists the sessions with recorded traces, least recently active
+// first.
 func (t *Tracer) Sessions() []string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]string(nil), t.order...)
+	out := make([]string, 0, len(t.sessions))
+	for el := t.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*sessionTrace).id)
+	}
+	return out
 }
 
 // Reset drops all recorded traces (test hook).
 func (t *Tracer) Reset() {
 	t.mu.Lock()
-	t.sessions = map[string]*sessionTrace{}
-	t.order = nil
+	t.sessions = map[string]*list.Element{}
+	t.lru = list.New()
 	t.mu.Unlock()
 }
 
@@ -310,7 +427,7 @@ func StartSpan(ctx context.Context, component, name string) (context.Context, *S
 	if parent == nil || !enabled.Load() {
 		return ctx, nil
 	}
-	sp := parent.t.newSpan(parent.session, parent.id, component, name)
+	sp := parent.t.newSpan(parent.session, parent.id, component, name, parent.open)
 	return ContextWith(ctx, sp), sp
 }
 

@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"errors"
+	"strconv"
 	"sync"
 	"time"
 
@@ -90,6 +91,7 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 type Breaker struct {
 	mu      sync.Mutex
 	cfg     BreakerConfig
+	name    string // owning agent, for state-transition events ("" standalone)
 	now     func() time.Time
 	state   State
 	window  []bool // ring of outcomes, true = failure
@@ -104,6 +106,19 @@ type Breaker struct {
 func NewBreaker(cfg BreakerConfig) *Breaker {
 	cfg = cfg.withDefaults()
 	return &Breaker{cfg: cfg, now: time.Now, window: make([]bool, cfg.Window)}
+}
+
+// stateEvent records one state transition in the event log. Transitions
+// are rare by construction (trips gate on a windowed failure rate, closes
+// on successful probes), so no sampling is needed.
+func (b *Breaker) stateEvent(lv obs.Level, kind string, extra ...obs.Attr) {
+	if !obs.Events.On(lv) {
+		return
+	}
+	attrs := append([]obs.Attr{{Key: "agent", Value: b.name}}, extra...)
+	obs.Events.Append(obs.Event{
+		Level: lv, Component: "breaker", Kind: kind, Attrs: attrs,
+	})
 }
 
 // Allow reports whether a dispatch may proceed, advancing open -> half-open
@@ -121,6 +136,7 @@ func (b *Breaker) Allow() bool {
 		}
 		b.state = HalfOpen
 		b.probes, b.probeOK = 0, 0
+		b.stateEvent(obs.LevelInfo, "half-open")
 		fallthrough
 	default: // HalfOpen
 		if b.probes >= b.cfg.HalfOpenProbes {
@@ -156,6 +172,7 @@ func (b *Breaker) Record(success bool) {
 			b.state = Closed
 			b.resetWindowLocked()
 			mBreakerCloses.Inc()
+			b.stateEvent(obs.LevelInfo, "close")
 		}
 	case Closed:
 		if b.filled >= b.cfg.MinSamples && b.failureRateLocked() >= b.cfg.FailureThreshold {
@@ -176,6 +193,8 @@ func (b *Breaker) tripLocked() {
 	b.state = Open
 	b.openAt = b.now()
 	mBreakerTrips.Inc()
+	b.stateEvent(obs.LevelWarn, "open",
+		obs.Attr{Key: "failure_rate", Value: strconv.FormatFloat(b.failureRateLocked(), 'f', 2, 64)})
 }
 
 func (b *Breaker) resetWindowLocked() {
@@ -222,6 +241,7 @@ func (s *Set) For(name string) *Breaker {
 	b, ok := s.m[name]
 	if !ok {
 		b = NewBreaker(s.cfg)
+		b.name = name
 		s.m[name] = b
 	}
 	return b

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"time"
 
@@ -20,6 +21,24 @@ var (
 	mGovQueueTimeouts = obs.Default.Counter("blueprint_governor_queue_timeouts_total", "queued asks shed after waiting past the queue timeout")
 	mGovDegraded      = obs.Default.Counter("blueprint_degraded_answers_total", "asks answered from stale memo entries instead of execution")
 )
+
+// shedEvent records one shed decision in the event log, carrying the
+// tenant, the reason and the ask's trace id so a 429 response correlates
+// with the flight recorder.
+func shedEvent(ctx context.Context, tenant, reason string, queued int) {
+	if !obs.Events.On(obs.LevelWarn) {
+		return
+	}
+	obs.Events.Append(obs.Event{
+		Level: obs.LevelWarn, Component: "governor", Kind: "shed",
+		Trace: obs.TraceIDFrom(ctx),
+		Attrs: []obs.Attr{
+			{Key: "tenant", Value: tenant},
+			{Key: "reason", Value: reason},
+			{Key: "queued", Value: strconv.Itoa(queued)},
+		},
+	})
+}
 
 // ErrOverloaded reports an ask shed by the governor. blueprintd maps it to
 // HTTP 429 with a Retry-After header.
@@ -140,6 +159,7 @@ func (g *Governor) Admit(ctx context.Context, tenant string) (func(), error) {
 	if g.inflight < g.cfg.MaxConcurrent && g.queue.Len() == 0 {
 		g.admitLocked(tenant)
 		g.mu.Unlock()
+		g.admitEvent(ctx, tenant, false)
 		return func() { g.release(tenant) }, nil
 	}
 	// Contended. A tenant already holding its fair share sheds immediately
@@ -151,25 +171,41 @@ func (g *Governor) Admit(ctx context.Context, tenant string) (func(), error) {
 		mGovShed.Inc()
 		mGovTenantShed.Inc()
 		retry := g.cfg.RetryAfter
+		queued := g.queue.Len()
 		g.mu.Unlock()
+		shedEvent(ctx, tenant, "tenant over fair share", queued)
 		return nil, &OverloadError{RetryAfter: retry, Reason: "tenant over fair share"}
 	}
 	if g.queue.Len() >= g.cfg.MaxQueue {
 		g.stats.Shed++
 		mGovShed.Inc()
 		retry := g.cfg.RetryAfter
+		queued := g.queue.Len()
 		g.mu.Unlock()
+		shedEvent(ctx, tenant, "queue full", queued)
 		return nil, &OverloadError{RetryAfter: retry, Reason: "queue full"}
 	}
 	w := &waiter{tenant: tenant, granted: make(chan struct{})}
 	el := g.queue.PushBack(w)
-	g.stats.Queued = g.queue.Len()
+	depth := g.queue.Len()
+	g.stats.Queued = depth
 	g.mu.Unlock()
+	if obs.Events.On(obs.LevelInfo) {
+		obs.Events.Append(obs.Event{
+			Level: obs.LevelInfo, Component: "governor", Kind: "queue",
+			Trace: obs.TraceIDFrom(ctx),
+			Attrs: []obs.Attr{
+				{Key: "tenant", Value: tenant},
+				{Key: "depth", Value: strconv.Itoa(depth)},
+			},
+		})
+	}
 
 	t := time.NewTimer(g.cfg.QueueTimeout)
 	defer t.Stop()
 	select {
 	case <-w.granted:
+		g.admitEvent(ctx, tenant, true)
 		return func() { g.release(tenant) }, nil
 	case <-t.C:
 	case <-ctx.Done():
@@ -180,6 +216,7 @@ func (g *Governor) Admit(ctx context.Context, tenant string) (func(), error) {
 	select {
 	case <-w.granted:
 		g.mu.Unlock()
+		g.admitEvent(ctx, tenant, true)
 		return func() { g.release(tenant) }, nil
 	default:
 	}
@@ -190,11 +227,30 @@ func (g *Governor) Admit(ctx context.Context, tenant string) (func(), error) {
 	mGovShed.Inc()
 	mGovQueueTimeouts.Inc()
 	retry := g.cfg.RetryAfter
+	queued := g.queue.Len()
 	g.mu.Unlock()
+	reason := "queue timeout"
 	if ctx.Err() != nil {
-		return nil, &OverloadError{RetryAfter: retry, Reason: "cancelled while queued"}
+		reason = "cancelled while queued"
 	}
-	return nil, &OverloadError{RetryAfter: retry, Reason: "queue timeout"}
+	shedEvent(ctx, tenant, reason, queued)
+	return nil, &OverloadError{RetryAfter: retry, Reason: reason}
+}
+
+// admitEvent records one admission at debug level (the governor's steady
+// state; operators raise the log to info/warn to keep only transitions).
+func (g *Governor) admitEvent(ctx context.Context, tenant string, waited bool) {
+	if !obs.Events.On(obs.LevelDebug) {
+		return
+	}
+	obs.Events.Append(obs.Event{
+		Level: obs.LevelDebug, Component: "governor", Kind: "admit",
+		Trace: obs.TraceIDFrom(ctx),
+		Attrs: []obs.Attr{
+			{Key: "tenant", Value: tenant},
+			{Key: "waited", Value: strconv.FormatBool(waited)},
+		},
+	})
 }
 
 // admitLocked books one slot for tenant.

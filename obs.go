@@ -95,6 +95,26 @@ func (s *System) registerInstruments() {
 		return float64(len(s.Sessions.List()))
 	})
 
+	// Attribution plane: SLO burn rates as labeled gauges, plus the event
+	// log's and flight recorder's ring occupancy (their capacity bound is
+	// part of the A12 floor).
+	r.SLOFunc("blueprint_slo_burn_rate", "error-budget burn rate per tenant/agent series and window (1.0 = burning exactly the budget)", s.SLO)
+	r.GaugeFunc("blueprint_events_retained", "events retained in the bounded event ring", func() float64 {
+		return float64(obs.Events.Len())
+	})
+	r.CounterFunc("blueprint_events_seq", "events emitted since process start (ring sequence head)", func() float64 {
+		return float64(obs.Events.Seq())
+	})
+	r.CounterFunc("blueprint_slow_ask_captures_total", "asks captured by the flight recorder (slow, error, degraded or shed)", func() float64 {
+		return float64(obs.SlowAsks.Captures())
+	})
+	r.GaugeFunc("blueprint_slow_ask_exemplars", "exemplars retained in the flight recorder ring", func() float64 {
+		return float64(obs.SlowAsks.Len())
+	})
+	r.GaugeFunc("blueprint_trace_sessions", "session span rings retained by the tracer", func() float64 {
+		return float64(obs.Spans.SessionCount())
+	})
+
 	// Resilience: breaker states and governor occupancy (the counters —
 	// trips, rejections, sheds, degraded answers — are package-level in
 	// internal/resilience; these gauges read this System's instances and

@@ -75,6 +75,10 @@ type System struct {
 	// GovernedAsk and blueprintd (nil unless Config.Governor.MaxConcurrent
 	// is set; a nil governor admits everything).
 	Governor *resilience.Governor
+	// SLO tracks per-tenant and per-agent SLO burn rates (Config.SLO):
+	// governed asks record per tenant, the scheduler records per agent.
+	// blueprintd serves it at GET /slo and exports it in /metrics.
+	SLO *obs.SLOTracker
 	// Model is the simulated LLM shared by LLM-backed agents.
 	Model *llm.Model
 	// Enterprise is the generated YourJourney substrate (§II).
@@ -217,6 +221,7 @@ func New(cfg Config) (*System, error) {
 	if !cfg.DisableBreakers {
 		breakers = resilience.NewSet(cfg.Breaker)
 	}
+	slo := obs.NewSLOTracker(cfg.SLO)
 	coord := coordinator.New(store, agentReg, tp, model, coordinator.Options{
 		RetryOnError: true,
 		MaxParallel:  cfg.MaxParallel,
@@ -224,6 +229,7 @@ func New(cfg Config) (*System, error) {
 		Retry:        cfg.Retry,
 		Breakers:     breakers,
 		Degrade:      cfg.Degrade,
+		SLO:          slo,
 	})
 	sys := &System{
 		cfg:           cfg,
@@ -234,6 +240,7 @@ func New(cfg Config) (*System, error) {
 		Durability:    eng,
 		Breakers:      breakers,
 		Governor:      resilience.NewGovernor(cfg.Governor),
+		SLO:           slo,
 		Factory:       factory,
 		Sessions:      session.NewManager(store, factory),
 		TaskPlanner:   tp,
@@ -242,6 +249,20 @@ func New(cfg Config) (*System, error) {
 		Model:         model,
 		Enterprise:    ent,
 		Suite:         suite,
+	}
+	// Observability-plane knobs act on the process globals (last System
+	// wins, like the func-backed instrument bridges); zero values leave the
+	// globals untouched so embedding tests don't clobber each other.
+	if cfg.TraceSessions > 0 {
+		obs.Spans.SetMaxSessions(cfg.TraceSessions)
+	}
+	if cfg.SlowAskThreshold != 0 {
+		obs.SlowAsks.SetThreshold(cfg.SlowAskThreshold)
+	}
+	if cfg.EventLevel != "" {
+		if lv, err := obs.ParseLevel(cfg.EventLevel); err == nil {
+			obs.Events.SetLevel(lv)
+		}
 	}
 	sys.registerInstruments()
 	return sys, nil
@@ -375,8 +396,38 @@ func (sess *Session) Close() {
 // anchors its spans beneath it, so GET /trace/{session} (and bpctl trace)
 // shows the full timed tree of the ask.
 func (sess *Session) Ask(text string, timeout time.Duration) (string, error) {
+	return sess.AskCtx(context.Background(), text, timeout)
+}
+
+// AskCtx is Ask with a context carrying the ask's trace id (obs.WithTraceID;
+// one is minted when absent). Asks that exceed the flight recorder's
+// threshold or error are captured as exemplars — span tree, overlapping
+// events, cost breakdown — addressable by the trace id.
+func (sess *Session) AskCtx(ctx context.Context, text string, timeout time.Duration) (string, error) {
+	tid := obs.TraceIDFrom(ctx)
+	if tid == "" {
+		tid = obs.NewTraceID(sess.ID)
+	}
+	start := time.Now()
+	evStart := obs.Events.Seq()
+	out, root, err := sess.askCore(tid, text, timeout)
+	sess.recordAsk(askRecord{
+		trace: tid, text: text, start: start, dur: time.Since(start),
+		evStart: evStart, root: root, err: err,
+	})
+	return out, err
+}
+
+// quiesceWait bounds how long an exemplar capture waits for the ask's
+// laggard spans (agents end theirs a hair after the answer displays).
+const quiesceWait = 50 * time.Millisecond
+
+// askCore runs the ask under its root span and the ask-level instruments,
+// returning the answer and the root span (nil when tracing is off).
+func (sess *Session) askCore(tid, text string, timeout time.Duration) (string, *obs.Span, error) {
 	sp := obs.Spans.StartRoot(sess.ID, "session", "ask")
 	sp.SetAttr("text", obs.Truncate(text, 80))
+	sp.SetAttr("trace", tid)
 	defer sp.End()
 	mAsks.Inc()
 	var started time.Time
@@ -387,9 +438,148 @@ func (sess *Session) Ask(text string, timeout time.Duration) (string, error) {
 
 	before := len(sess.Display())
 	if _, err := sess.PostUserText(text); err != nil {
-		return "", err
+		return "", sp, err
 	}
-	return sess.awaitDisplay(before, "", timeout)
+	out, err := sess.awaitDisplay(before, "", timeout)
+	return out, sp, err
+}
+
+// askRecord carries one finished ask's identity and outcome to recordAsk.
+type askRecord struct {
+	trace   string
+	tenant  string // "" outside the governed path (no tenant SLO series)
+	text    string
+	start   time.Time
+	dur     time.Duration
+	evStart uint64    // event-log cursor at ask start (the exemplar's window)
+	root    *obs.Span // root span (nil = no span tree, e.g. shed before execution)
+	outcome string    // "" = classify: error when err != nil, else slow-by-threshold
+	err     error
+}
+
+// shedSampler thins shed-ask exemplar captures: under sustained overload
+// every arrival sheds, and unsampled capture would wash the slow/degraded
+// exemplars (the ones with span evidence) out of the recorder ring.
+var shedSampler = obs.NewSampler(4)
+
+// recordAsk is the per-ask observability funnel shared by AskCtx and
+// GovernedAsk: it feeds the tenant's SLO series and captures a flight
+// recorder exemplar when the ask was slow, failed, degraded or shed.
+func (sess *Session) recordAsk(rec askRecord) {
+	if rec.tenant != "" {
+		// Sheds and degraded (stale) serves burn the tenant's error budget
+		// alongside outright errors: the SLO promises a fresh answer in
+		// time, and none of the three delivered one.
+		bad := rec.err != nil ||
+			rec.outcome == obs.OutcomeShed || rec.outcome == obs.OutcomeDegraded
+		sess.sys.SLO.Record(obs.SLOTenant, rec.tenant, rec.dur, bad)
+	}
+	outcome := rec.outcome
+	if outcome == "" && rec.err != nil {
+		outcome = obs.OutcomeError
+	}
+	rcd := obs.SlowAsks
+	if !rcd.ShouldCapture(rec.dur, outcome) {
+		return
+	}
+	if outcome == "" {
+		outcome = obs.OutcomeSlow
+	}
+	if outcome == obs.OutcomeShed && !shedSampler.Allow() {
+		return
+	}
+	ex := obs.Exemplar{
+		Trace: rec.trace, Session: sess.ID, Tenant: rec.tenant,
+		Text: obs.Truncate(rec.text, 120), Start: rec.start, Dur: rec.dur,
+		Outcome: outcome,
+	}
+	if rec.err != nil {
+		ex.Err = rec.err.Error()
+	}
+	if rec.root != nil {
+		ex.Spans = quiescedTree(sess.ID, rec.root)
+	}
+	ex.Events = filterAskEvents(obs.Events.Since(rec.evStart), sess.ID, rec.trace)
+	// The cost breakdown comes from the plan the ask executed — the most
+	// recent result of the session's coordinator service (asks serialize
+	// per session, so "last completed" is this ask's plan whenever one ran).
+	if rec.root != nil {
+		if results := sess.svc.Results(); len(results) > 0 {
+			ex.Breakdown = breakdownOf(results[len(results)-1])
+		}
+	}
+	rcd.Capture(ex)
+}
+
+// quiescedTree snapshots an ask's span tree for an exemplar, waiting
+// (bounded by quiesceWait) for the tree to finish landing first. The answer
+// displays the moment the last agent posts it — a hair before that agent's
+// span, and its coordinator ancestors, End into the ring. Two signals
+// compose: the root's open-span counter covers spans already started, and a
+// stability settle (two consecutive identical-size reads) covers the
+// cross-stream handoff gap where one stage's span has ended but the next
+// stage's has not started yet, so the counter transiently reads zero. This
+// path only runs for asks that were already slow, degraded or failed, so
+// the short wait is free.
+func quiescedTree(session string, root *obs.Span) []obs.SpanData {
+	deadline := time.Now().Add(quiesceWait)
+	tree := obs.Spans.Tree(session, root.ID())
+	for stable := 0; stable < 2 && time.Now().Before(deadline); {
+		time.Sleep(200 * time.Microsecond)
+		if root.OpenInTree() > 0 {
+			stable = 0
+			continue
+		}
+		next := obs.Spans.Tree(session, root.ID())
+		if len(next) != len(tree) {
+			stable = 0
+		} else {
+			stable++
+		}
+		tree = next
+	}
+	return tree
+}
+
+// breakdownOf summarizes a coordinator result for an exemplar.
+func breakdownOf(res *coordinator.Result) *obs.CostBreakdown {
+	bd := &obs.CostBreakdown{
+		PlanID:  res.PlanID,
+		Cost:    res.Budget.CostSpent,
+		Steps:   len(res.Steps),
+		Retries: res.Retries,
+		Replans: res.Replans,
+		Elapsed: res.Budget.Latency,
+	}
+	for _, st := range res.Steps {
+		if st.Cached {
+			bd.CachedSteps++
+		}
+		if st.Degraded {
+			bd.DegradedSteps++
+		}
+	}
+	return bd
+}
+
+// filterAskEvents keeps the events belonging to one ask's window: events
+// tagged with the ask's trace id or session, plus untagged process-global
+// events (breaker transitions, WAL group commits) that overlapped it.
+// Events tagged with a *different* trace or session are concurrent
+// neighbors' and are dropped.
+func filterAskEvents(events []obs.Event, session, trace string) []obs.Event {
+	out := events[:0]
+	for _, e := range events {
+		switch {
+		case trace != "" && e.Trace == trace:
+		case e.Session == session && e.Session != "":
+		case e.Trace == "" && e.Session == "":
+		default:
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
 }
 
 // askAgent is the synthetic memo namespace for whole-ask answers: governed
@@ -408,6 +598,9 @@ type Answer struct {
 	Degraded bool
 	// StaleFor is the served entry's age when Degraded.
 	StaleFor time.Duration
+	// TraceID correlates the answer with its span tree, events and any
+	// flight-recorder exemplar (blueprintd returns it as X-Trace-Id).
+	TraceID string
 }
 
 // GovernedAsk is Ask behind the overload governor: the ask first claims an
@@ -419,20 +612,50 @@ type Answer struct {
 // normally and memoize their answer for future degraded serves. A nil
 // governor (Config.Governor unset) admits everything immediately.
 func (sess *Session) GovernedAsk(ctx context.Context, tenant, text string, timeout time.Duration) (Answer, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tid := obs.TraceIDFrom(ctx)
+	if tid == "" {
+		tid = obs.NewTraceID(sess.ID)
+		ctx = obs.WithTraceID(ctx, tid)
+	}
+	start := time.Now()
+	evStart := obs.Events.Seq()
+	rec := askRecord{trace: tid, tenant: tenant, text: text, start: start, evStart: evStart}
+
 	release, err := sess.sys.Governor.Admit(ctx, tenant)
 	if err != nil {
 		if ans, ok := sess.staleAnswer(text); ok {
+			ans.TraceID = tid
+			if obs.Events.On(obs.LevelWarn) {
+				obs.Events.Append(obs.Event{
+					Level: obs.LevelWarn, Component: "session", Kind: "degraded-ask",
+					Session: sess.ID, Trace: tid,
+					Attrs: []obs.Attr{
+						{Key: "tenant", Value: tenant},
+						{Key: "stale_for", Value: ans.StaleFor.String()},
+					},
+				})
+			}
+			rec.dur, rec.outcome = time.Since(start), obs.OutcomeDegraded
+			sess.recordAsk(rec)
 			return ans, nil
 		}
-		return Answer{}, err
+		rec.dur, rec.outcome, rec.err = time.Since(start), obs.OutcomeShed, err
+		sess.recordAsk(rec)
+		return Answer{TraceID: tid}, err
 	}
 	defer release()
-	out, askErr := sess.Ask(text, timeout)
+	out, root, askErr := sess.askCore(tid, text, timeout)
+	rec.dur, rec.root, rec.err = time.Since(start), root, askErr
 	if askErr != nil {
-		return Answer{}, askErr
+		sess.recordAsk(rec)
+		return Answer{TraceID: tid}, askErr
 	}
 	sess.rememberAnswer(text, out)
-	return Answer{Text: out}, nil
+	sess.recordAsk(rec)
+	return Answer{Text: out, TraceID: tid}, nil
 }
 
 // askKey derives the memo key of an utterance's whole-ask answer.
